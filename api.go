@@ -1,0 +1,230 @@
+package noctg
+
+import (
+	"io"
+
+	"noctg/internal/amba"
+	"noctg/internal/cache"
+	"noctg/internal/core"
+	"noctg/internal/exp"
+	"noctg/internal/layout"
+	"noctg/internal/noc"
+	"noctg/internal/ocp"
+	"noctg/internal/platform"
+	"noctg/internal/prog"
+	"noctg/internal/sim"
+	"noctg/internal/stochastic"
+	"noctg/internal/trace"
+)
+
+// Core simulation types.
+type (
+	// Engine is the cycle-driven simulation kernel.
+	Engine = sim.Engine
+	// Clock converts between cycles and nanoseconds (default 5 ns/cycle).
+	Clock = sim.Clock
+	// AddrRange is a half-open byte-address range.
+	AddrRange = ocp.AddrRange
+	// Request is one OCP transaction request.
+	Request = ocp.Request
+	// Response is an OCP read response.
+	Response = ocp.Response
+	// MasterPort is the master-side OCP connection point.
+	MasterPort = ocp.MasterPort
+	// Event is one traced OCP transaction.
+	Event = ocp.Event
+)
+
+// Trace types (.trc files, Figure 3(a)).
+type (
+	// Trace is a recorded master-interface communication trace.
+	Trace = trace.Trace
+)
+
+// TG types (the paper's contribution).
+type (
+	// TGProgram is a traffic-generator program (.tgp / .bin content).
+	TGProgram = core.Program
+	// TGInst is one TG instruction (Table 1 + Halt).
+	TGInst = core.Inst
+	// TGDevice is the cycle-true TG processor model.
+	TGDevice = core.Device
+	// TranslateConfig parameterises trace→program translation.
+	TranslateConfig = core.TranslateConfig
+	// TranslateStats reports translation fidelity counters.
+	TranslateStats = core.TranslateStats
+	// PollRange declares a pollable address range and its poll period.
+	PollRange = core.PollRange
+	// MultiTaskTG schedules several TG programs on one port (§7).
+	MultiTaskTG = core.MultiTask
+	// MultiTaskConfig parameterises the multitasking scheduler.
+	MultiTaskConfig = core.MultiTaskConfig
+	// SlaveTG is the slave-side traffic generator of §4.
+	SlaveTG = core.SlaveTG
+	// SlaveMode selects dummy or memory-backed slave TG behaviour.
+	SlaveMode = core.SlaveMode
+)
+
+// Slave TG modes.
+const (
+	// DummySlave answers reads with deterministic dummy values.
+	DummySlave = core.DummySlave
+	// MemorySlave keeps real word storage.
+	MemorySlave = core.MemorySlave
+)
+
+// Platform types.
+type (
+	// PlatformConfig describes a platform instance.
+	PlatformConfig = platform.Config
+	// System is an assembled platform.
+	System = platform.System
+	// Master is any device that drives an OCP master port to completion.
+	Master = platform.Master
+	// BusConfig configures the AMBA AHB-style bus.
+	BusConfig = amba.Config
+	// NoCConfig configures the ×pipes-style mesh NoC.
+	NoCConfig = noc.Config
+	// CacheConfig configures one cache.
+	CacheConfig = cache.Config
+	// Interconnect selects the fabric (AMBA or XPipes).
+	Interconnect = platform.Interconnect
+)
+
+// Interconnect kinds.
+const (
+	// AMBA is the shared-bus reference interconnect.
+	AMBA = platform.AMBA
+	// XPipes is the packet-switched mesh NoC.
+	XPipes = platform.XPipes
+)
+
+// Benchmark and experiment types.
+type (
+	// Benchmark is one runnable SPMD workload specification.
+	Benchmark = prog.Spec
+	// Options selects the platform variant for experiments.
+	Options = exp.Options
+	// RefResult is a reference (ARM) run outcome.
+	RefResult = exp.RefResult
+	// TGResult is a TG-platform run outcome.
+	TGResult = exp.TGResult
+	// Row is one Table 2 measurement line.
+	Row = exp.Row
+	// Sizes parameterises the Table 2 benchmark sweep.
+	Sizes = exp.Sizes
+	// CrossCheckResult is the cross-interconnect equality outcome.
+	CrossCheckResult = exp.CrossCheckResult
+	// StochasticConfig describes a statistical baseline generator.
+	StochasticConfig = stochastic.Config
+	// Dist selects a stochastic inter-arrival distribution.
+	Dist = stochastic.Dist
+)
+
+// Stochastic distributions (Lahiri et al. [6]).
+const (
+	// Uniform draws gaps uniformly around the mean.
+	Uniform = stochastic.Uniform
+	// Gaussian draws normally distributed gaps.
+	Gaussian = stochastic.Gaussian
+	// Poisson draws exponential gaps.
+	Poisson = stochastic.Poisson
+	// Bursty alternates back-to-back bursts with long off periods.
+	Bursty = stochastic.Bursty
+)
+
+// Benchmarks (the paper's Table 2 workloads).
+var (
+	// SPMatrix builds the single-processor matrix benchmark (n×n).
+	SPMatrix = prog.SPMatrix
+	// Cacheloop builds the cache-resident scaling benchmark.
+	Cacheloop = prog.Cacheloop
+	// MPMatrix builds the shared-memory multiprocessor matrix benchmark.
+	MPMatrix = prog.MPMatrix
+	// DES builds the table-driven Feistel encryption benchmark.
+	DES = prog.DES
+	// Pipeline builds the flag-handshake dataflow chain benchmark (an
+	// addition beyond the paper's four workloads).
+	Pipeline = prog.Pipeline
+)
+
+// The TG flow (Sections 4–5).
+var (
+	// Translate converts one trace into a TG program.
+	Translate = core.Translate
+	// DefaultTranslateConfig returns the reactive translation setup.
+	DefaultTranslateConfig = core.DefaultTranslateConfig
+	// AssembleTGP parses .tgp text into a program.
+	AssembleTGP = core.Assemble
+	// ReadBin parses a .bin TG image.
+	ReadBin = core.ReadBin
+	// NewTGDevice builds a TG processor over an OCP port.
+	NewTGDevice = core.NewDevice
+	// NewMultiTaskTG builds a multitasking TG master.
+	NewMultiTaskTG = core.NewMultiTask
+	// NewSlaveTG builds a slave-side TG.
+	NewSlaveTG = core.NewSlaveTG
+	// ParseTrace reads a .trc stream.
+	ParseTrace = trace.Parse
+	// NewTrace wraps monitor events as a trace.
+	NewTrace = trace.New
+)
+
+// Platform assembly (Figure 1).
+var (
+	// BuildARM assembles a platform of miniARM cores running programs.
+	BuildARM = platform.BuildARM
+	// BuildTG assembles a platform of TG devices (Figure 1(b)).
+	BuildTG = platform.BuildTG
+	// Build assembles a platform with a custom master factory.
+	Build = platform.Build
+	// NewStochastic builds a statistical baseline master.
+	NewStochastic = stochastic.New
+)
+
+// Experiment harness (Section 6).
+var (
+	// DefaultOptions returns the reference AMBA platform options.
+	DefaultOptions = exp.DefaultOptions
+	// RunReference executes a benchmark on cycle-true cores.
+	RunReference = exp.RunReference
+	// TranslateAll converts per-master traces into TG programs.
+	TranslateAll = exp.TranslateAll
+	// RunTG executes translated programs on the TG platform.
+	RunTG = exp.RunTG
+	// PollRangesFor returns a benchmark's pollable ranges.
+	PollRangesFor = exp.PollRangesFor
+	// MeasureRow produces one Table 2 row.
+	MeasureRow = exp.MeasureRow
+	// Table2 measures the full benchmark sweep.
+	Table2 = exp.Table2
+	// FormatTable2 renders rows in the paper's layout.
+	FormatTable2 = exp.FormatTable2
+	// DefaultSizes mirrors the paper's benchmark sweep.
+	DefaultSizes = exp.DefaultSizes
+	// QuickSizes is a fast smoke-test sweep.
+	QuickSizes = exp.QuickSizes
+	// CrossCheck verifies .tgp equality across interconnects.
+	CrossCheck = exp.CrossCheck
+)
+
+// Memory map of the MPARM-like platform.
+var (
+	// PrivBaseFor returns core i's private memory base.
+	PrivBaseFor = layout.PrivBaseFor
+	// SharedRange returns the shared memory range.
+	SharedRange = layout.SharedRange
+	// SemRange returns the hardware semaphore bank range.
+	SemRange = layout.SemRange
+	// SemAddr returns the address of semaphore i.
+	SemAddr = layout.SemAddr
+)
+
+// WriteTGP renders a TG program as canonical .tgp text.
+func WriteTGP(p *TGProgram, w io.Writer) error { return p.Format(w) }
+
+// WriteBin serialises a TG program as a .bin image.
+func WriteBin(p *TGProgram, w io.Writer) error { return p.WriteBin(w) }
+
+// WriteTrace renders a trace in .trc format.
+func WriteTrace(t *Trace, w io.Writer) error { return t.Write(w) }

@@ -1,0 +1,136 @@
+package noctg_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"noctg"
+)
+
+// TestEndToEndFlow exercises the full public API: reference run → traces →
+// .trc round trip → translation → .tgp and .bin round trips → TG run.
+func TestEndToEndFlow(t *testing.T) {
+	bench := noctg.MPMatrix(2, 8)
+	opt := noctg.DefaultOptions()
+
+	ref, err := noctg.RunReference(bench, opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Traces) != 2 {
+		t.Fatalf("expected 2 traces, got %d", len(ref.Traces))
+	}
+
+	// .trc round trip.
+	var buf bytes.Buffer
+	if err := noctg.WriteTrace(ref.Traces[0], &buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := noctg.ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Events) != len(ref.Traces[0].Events) {
+		t.Fatal(".trc round trip lost events")
+	}
+
+	progs, stats, _, err := noctg.TranslateAll(bench, ref.Traces,
+		noctg.DefaultTranslateConfig(noctg.PollRangesFor(bench)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PollLoops == 0 {
+		t.Fatal("MP matrix should produce poll loops")
+	}
+
+	// .tgp round trip.
+	var tgp bytes.Buffer
+	if err := noctg.WriteTGP(progs[0], &tgp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tgp.String(), "MASTER[0,0]") {
+		t.Fatalf(".tgp missing header:\n%s", tgp.String())
+	}
+	reasm, err := noctg.AssembleTGP(tgp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reasm.Insts) != len(progs[0].Insts) {
+		t.Fatal(".tgp round trip changed the program")
+	}
+
+	// .bin round trip.
+	var bin bytes.Buffer
+	if err := noctg.WriteBin(progs[0], &bin); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := noctg.ReadBin(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromBin.Insts) != len(progs[0].Insts) {
+		t.Fatal(".bin round trip changed the program")
+	}
+
+	tg, err := noctg.RunTG(bench, progs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := float64(tg.Makespan) - float64(ref.Makespan)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff/float64(ref.Makespan) > 0.03 {
+		t.Fatalf("TG makespan %d deviates from ARM %d", tg.Makespan, ref.Makespan)
+	}
+}
+
+func TestPublicCrossCheck(t *testing.T) {
+	res, err := noctg.CrossCheck(noctg.Cacheloop(2, 300), noctg.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal {
+		t.Fatalf("programs differ: %s", res.FirstDiff)
+	}
+}
+
+func TestPublicMeasureRow(t *testing.T) {
+	row, err := noctg.MeasureRow(noctg.SPMatrix(8), noctg.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ErrorPct > 1 {
+		t.Fatalf("error %.2f%%", row.ErrorPct)
+	}
+	out := noctg.FormatTable2([]*noctg.Row{row})
+	if !strings.Contains(out, "spmatrix") {
+		t.Fatal("format output missing benchmark name")
+	}
+}
+
+func TestPublicPlatformOnXPipes(t *testing.T) {
+	bench := noctg.Cacheloop(2, 200)
+	opt := noctg.DefaultOptions()
+	opt.Platform.Interconnect = noctg.XPipes
+	ref, err := noctg.RunReference(bench, opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Makespan == 0 {
+		t.Fatal("no cycles simulated")
+	}
+}
+
+func TestPublicMemoryMap(t *testing.T) {
+	if noctg.PrivBaseFor(1) <= noctg.PrivBaseFor(0) {
+		t.Fatal("private bases must ascend")
+	}
+	if !noctg.SemRange().Contains(noctg.SemAddr(0)) {
+		t.Fatal("semaphore 0 outside bank")
+	}
+	if noctg.SharedRange().Overlaps(noctg.SemRange()) {
+		t.Fatal("shared and semaphore ranges overlap")
+	}
+}

@@ -1,0 +1,501 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// recorded results):
+//
+//	BenchmarkTable2*            — Table 2: ARM vs TG simulation speed per
+//	                              benchmark and core count; the Gain column
+//	                              is the ratio of the matching ARM and TG
+//	                              benchmark times.
+//	BenchmarkFig2a*             — Figure 2(a): private-slave transaction
+//	                              pattern micro-benchmark.
+//	BenchmarkFig2b*             — Figure 2(b): two-master semaphore
+//	                              contention with reactive TGs.
+//	BenchmarkFig3Translation    — Figure 3: trace→TG-program translation
+//	                              throughput.
+//	BenchmarkTraceOverhead*     — §6: trace-collection and translation cost.
+//	BenchmarkCrossInterconnect* — §6: the same TG programs on AMBA/×pipes.
+//	BenchmarkAblation*          — baseline-fidelity and design-choice
+//	                              ablations.
+package noctg_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"noctg"
+
+	"noctg/internal/amba"
+	"noctg/internal/core"
+	"noctg/internal/exp"
+	"noctg/internal/ocp"
+	"noctg/internal/platform"
+	"noctg/internal/prog"
+	"noctg/internal/sim"
+	"noctg/internal/simtest"
+)
+
+// benchSizes keeps the Table 2 sweep fast enough for -bench=. runs while
+// staying in the paper's contention regimes.
+const (
+	benchSPMatrixN  = 16
+	benchCacheIters = 10_000
+	benchMPMatrixN  = 12
+	benchDESBlocks  = 8
+	benchMaxOverrun = 4 // spec.MaxCycles multiplier safety
+)
+
+func benchARM(b *testing.B, spec *prog.Spec) {
+	b.Helper()
+	progs, err := spec.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := exp.DefaultOptions()
+	var makespan uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := opt.Platform
+		cfg.Cores = spec.Cores
+		sys, err := platform.BuildARM(cfg, progs, opt.ICache, opt.DCache)
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan, err = sys.Run(spec.MaxCycles * benchMaxOverrun)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSimSpeed(b, makespan)
+}
+
+func benchTG(b *testing.B, spec *prog.Spec) {
+	b.Helper()
+	ref, err := exp.RunReference(spec, exp.DefaultOptions(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs, _, _, err := exp.TranslateAll(spec, ref.Traces,
+		core.DefaultTranslateConfig(exp.PollRangesFor(spec)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var makespan uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := exp.DefaultOptions().Platform
+		cfg.Cores = spec.Cores
+		sys, err := platform.BuildTG(cfg, progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan, err = sys.Run(spec.MaxCycles * benchMaxOverrun)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSimSpeed(b, makespan)
+}
+
+// reportSimSpeed reports the simulated-cycle throughput and the makespan.
+func reportSimSpeed(b *testing.B, makespan uint64) {
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(makespan)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msimcycles/s")
+	}
+	b.ReportMetric(float64(makespan), "simcycles")
+}
+
+// --- Table 2 ---
+
+func BenchmarkTable2SPMatrixARM(b *testing.B) { benchARM(b, prog.SPMatrix(benchSPMatrixN)) }
+func BenchmarkTable2SPMatrixTG(b *testing.B)  { benchTG(b, prog.SPMatrix(benchSPMatrixN)) }
+
+func BenchmarkTable2CacheloopARM(b *testing.B) {
+	for _, p := range []int{2, 4, 8, 12} {
+		b.Run(coresName(p), func(b *testing.B) { benchARM(b, prog.Cacheloop(p, benchCacheIters)) })
+	}
+}
+
+func BenchmarkTable2CacheloopTG(b *testing.B) {
+	for _, p := range []int{2, 4, 8, 12} {
+		b.Run(coresName(p), func(b *testing.B) { benchTG(b, prog.Cacheloop(p, benchCacheIters)) })
+	}
+}
+
+func BenchmarkTable2MPMatrixARM(b *testing.B) {
+	for _, p := range []int{2, 4, 8, 12} {
+		b.Run(coresName(p), func(b *testing.B) { benchARM(b, prog.MPMatrix(p, benchMPMatrixN)) })
+	}
+}
+
+func BenchmarkTable2MPMatrixTG(b *testing.B) {
+	for _, p := range []int{2, 4, 8, 12} {
+		b.Run(coresName(p), func(b *testing.B) { benchTG(b, prog.MPMatrix(p, benchMPMatrixN)) })
+	}
+}
+
+func BenchmarkTable2DESARM(b *testing.B) {
+	for _, p := range []int{3, 6, 12} {
+		b.Run(coresName(p), func(b *testing.B) { benchARM(b, prog.DES(p, benchDESBlocks)) })
+	}
+}
+
+func BenchmarkTable2DESTG(b *testing.B) {
+	for _, p := range []int{3, 6, 12} {
+		b.Run(coresName(p), func(b *testing.B) { benchTG(b, prog.DES(p, benchDESBlocks)) })
+	}
+}
+
+func coresName(p int) string { return fmt.Sprintf("%dP", p) }
+
+func BenchmarkPipelineARM(b *testing.B) { benchARM(b, prog.Pipeline(4, 16)) }
+func BenchmarkPipelineTG(b *testing.B)  { benchTG(b, prog.Pipeline(4, 16)) }
+
+// --- Figure 2(a): private-slave transaction pattern ---
+
+func BenchmarkFig2aPrivateSlave(b *testing.B) {
+	// WR / RD / WR+RD back-to-back against a private slave, as in the
+	// figure's timeline.
+	steps := []simtest.Step{
+		{Gap: 4, Req: ocp.Request{Cmd: ocp.Write, Addr: 0x1000, Burst: 1, Data: []uint32{1}}},
+		{Gap: 6, Req: ocp.Request{Cmd: ocp.Read, Addr: 0x1004, Burst: 1}},
+		{Gap: 0, Req: ocp.Request{Cmd: ocp.Write, Addr: 0x1008, Burst: 1, Data: []uint32{2}}},
+		{Gap: 0, Req: ocp.Request{Cmd: ocp.Read, Addr: 0x1008, Burst: 1}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine(sim.Clock{})
+		bus := amba.New(amba.Config{}, e.Cycle)
+		ram := newBenchRAM(b, bus)
+		_ = ram
+		m := simtest.NewMaster(bus.NewMasterPort(), steps)
+		e.Add(m)
+		e.Add(bus)
+		if _, err := e.Run(10_000, func() bool { return m.Done() && bus.Idle() }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 2(b): semaphore contention with reactive TGs ---
+
+func BenchmarkFig2bSemaphore(b *testing.B) {
+	m1, err := noctg.AssembleTGP(`MASTER[0,0]
+REGISTER addr 0x09000000
+REGISTER data 0x00000001
+REGISTER tempreg 0x00000001
+BEGIN
+Semchk0:
+	Read(addr)
+	If rdreg != tempreg then Semchk0
+	Idle(100)
+	Write(addr, data)
+	Halt
+END`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m2, err := noctg.AssembleTGP(`MASTER[1,0]
+REGISTER addr 0x09000000
+REGISTER tempreg 0x00000001
+BEGIN
+	Idle(10)
+Semchk0:
+	Read(addr)
+	Idle(6)
+	If rdreg != tempreg then Semchk0
+	Halt
+END`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := platform.BuildTG(platform.Config{Cores: 2}, []*core.Program{m1, m2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 3: translation throughput ---
+
+func BenchmarkFig3Translation(b *testing.B) {
+	spec := prog.MPMatrix(4, benchMPMatrixN)
+	ref, err := exp.RunReference(spec, exp.DefaultOptions(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultTranslateConfig(exp.PollRangesFor(spec))
+	var events int
+	for _, tr := range ref.Traces {
+		events += len(tr.Events)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range ref.Traces {
+			if _, _, err := core.Translate(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// --- §6: trace collection overhead ---
+
+func BenchmarkTraceOverheadPlain(b *testing.B) {
+	spec := prog.MPMatrix(4, benchMPMatrixN)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunReference(spec, exp.DefaultOptions(), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceOverheadTraced(b *testing.B) {
+	spec := prog.MPMatrix(4, benchMPMatrixN)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunReference(spec, exp.DefaultOptions(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceOverheadSerialize(b *testing.B) {
+	spec := prog.MPMatrix(4, benchMPMatrixN)
+	ref, err := exp.RunReference(spec, exp.DefaultOptions(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range ref.Traces {
+			if err := tr.Write(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- §6: cross-interconnect replay ---
+
+func BenchmarkCrossInterconnectTGOnAMBA(b *testing.B) {
+	benchTGOnFabric(b, platform.AMBA)
+}
+
+func BenchmarkCrossInterconnectTGOnXPipes(b *testing.B) {
+	benchTGOnFabric(b, platform.XPipes)
+}
+
+func benchTGOnFabric(b *testing.B, ic platform.Interconnect) {
+	b.Helper()
+	spec := prog.MPMatrix(4, benchMPMatrixN)
+	ref, err := exp.RunReference(spec, exp.DefaultOptions(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs, _, _, err := exp.TranslateAll(spec, ref.Traces,
+		core.DefaultTranslateConfig(exp.PollRangesFor(spec)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var makespan uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := platform.Config{Cores: spec.Cores, Interconnect: ic}
+		sys, err := platform.BuildTG(cfg, progs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan, err = sys.Run(spec.MaxCycles * benchMaxOverrun)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSimSpeed(b, makespan)
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationGeneratorFidelity(b *testing.B) {
+	spec := prog.MPMatrix(2, benchMPMatrixN)
+	source := exp.DefaultOptions()
+	target := exp.DefaultOptions()
+	target.Platform.Interconnect = platform.XPipes
+	b.Run("reactive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := exp.AblationGenerators(spec, source, target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rows[0].ErrorPct, "errpct")
+		}
+	})
+}
+
+func BenchmarkAblationArbitration(b *testing.B) {
+	spec := prog.MPMatrix(4, benchMPMatrixN)
+	for _, pol := range []amba.Policy{amba.RoundRobin, amba.FixedPriority, amba.TDMA} {
+		b.Run(pol.String(), func(b *testing.B) {
+			opt := exp.DefaultOptions()
+			opt.Platform.Bus.Arbitration = pol
+			var makespan uint64
+			for i := 0; i < b.N; i++ {
+				ref, err := exp.RunReference(spec, opt, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = ref.Makespan
+			}
+			b.ReportMetric(float64(makespan), "simcycles")
+		})
+	}
+}
+
+func BenchmarkAblationLineSize(b *testing.B) {
+	spec := prog.SPMatrix(benchSPMatrixN)
+	for _, words := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("%dw", words), func(b *testing.B) {
+			opt := exp.DefaultOptions()
+			opt.ICache.WordsPerLine = words
+			opt.DCache.WordsPerLine = words
+			var makespan uint64
+			for i := 0; i < b.N; i++ {
+				ref, err := exp.RunReference(spec, opt, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = ref.Makespan
+			}
+			b.ReportMetric(float64(makespan), "simcycles")
+		})
+	}
+}
+
+func BenchmarkAblationAssociativity(b *testing.B) {
+	// Cache associativity's effect on the reference run (DESIGN.md design
+	// choice: the paper's caches are unspecified; ours default to
+	// direct-mapped).
+	spec := prog.SPMatrix(benchSPMatrixN)
+	for _, ways := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%dway", ways), func(b *testing.B) {
+			opt := exp.DefaultOptions()
+			opt.ICache.Ways = ways
+			opt.DCache.Ways = ways
+			var makespan uint64
+			for i := 0; i < b.N; i++ {
+				ref, err := exp.RunReference(spec, opt, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = ref.Makespan
+			}
+			b.ReportMetric(float64(makespan), "simcycles")
+		})
+	}
+}
+
+func BenchmarkAblationPollGapModel(b *testing.B) {
+	// Sensitivity of TG accuracy to the configured poll period: translate
+	// with gaps around the measured value and report the cycle error.
+	spec := prog.MPMatrix(4, benchMPMatrixN)
+	ref, err := exp.RunReference(spec, exp.DefaultOptions(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, gap := range []uint64{4, 8, 16} {
+		b.Run(fmt.Sprintf("%dcyc", gap), func(b *testing.B) {
+			cfg := core.DefaultTranslateConfig(nil)
+			cfg.PollRanges = []core.PollRange{{Range: noctg.SemRange(), Gap: gap}}
+			for _, w := range spec.PollWords {
+				cfg.PollRanges = append(cfg.PollRanges,
+					core.PollRange{Range: ocp.AddrRange{Base: w, Size: 4}, Gap: gap})
+			}
+			progs, _, _, err := exp.TranslateAll(spec, ref.Traces, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var errPct float64
+			for i := 0; i < b.N; i++ {
+				tg, err := exp.RunTG(spec, progs, exp.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				diff := float64(tg.Makespan) - float64(ref.Makespan)
+				if diff < 0 {
+					diff = -diff
+				}
+				errPct = 100 * diff / float64(ref.Makespan)
+			}
+			b.ReportMetric(errPct, "errpct")
+		})
+	}
+}
+
+// --- kernel micro-benchmarks ---
+
+func BenchmarkEngineTick(b *testing.B) {
+	e := sim.NewEngine(sim.Clock{})
+	n := 0
+	for i := 0; i < 16; i++ {
+		e.Add(sim.DeviceFunc(func(uint64) { n++ }))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkTGDeviceIdleTick(b *testing.B) {
+	p, err := core.Assemble("MASTER[0,0]\nBEGIN\nstart:\nIdle(1000000)\nJump(start)\nEND")
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := core.NewDevice(p, idlePort{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Tick(uint64(i))
+	}
+}
+
+type idlePort struct{}
+
+func (idlePort) TryRequest(*ocp.Request) bool        { return false }
+func (idlePort) TakeResponse() (*ocp.Response, bool) { return nil, false }
+func (idlePort) Busy() bool                          { return false }
+
+func newBenchRAM(b *testing.B, bus *amba.Bus) *benchRAM {
+	b.Helper()
+	r := &benchRAM{}
+	if err := bus.MapSlave(r, ocp.AddrRange{Base: 0x1000, Size: 0x1000}); err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// benchRAM is a trivial 1-wait-state slave for micro-benchmarks.
+type benchRAM struct{ words [1024]uint32 }
+
+func (r *benchRAM) AccessCycles(req *ocp.Request) uint64 { return uint64(req.Burst) }
+
+func (r *benchRAM) Perform(req *ocp.Request) ocp.Response {
+	idx := (req.Addr - 0x1000) / 4
+	if req.Cmd.IsWrite() {
+		copy(r.words[idx:], req.Data)
+		return ocp.Response{}
+	}
+	data := make([]uint32, req.Burst)
+	copy(data, r.words[idx:int(idx)+req.Burst])
+	return ocp.Response{Data: data}
+}

@@ -1,0 +1,127 @@
+// Command nocsim runs one benchmark on a chosen platform, as a bit- and
+// cycle-true (miniARM) simulation or through the full TG flow, optionally
+// writing .trc traces and .tgp programs.
+//
+// Examples:
+//
+//	nocsim -bench mpmatrix -cores 4 -n 16
+//	nocsim -bench des -cores 3 -blocks 16 -interconnect xpipes
+//	nocsim -bench spmatrix -mode tg -trace-dir /tmp/trc -tgp-dir /tmp/tgp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"noctg/internal/core"
+	"noctg/internal/exp"
+	"noctg/internal/platform"
+	"noctg/internal/prog"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "mpmatrix", "benchmark: spmatrix, cacheloop, mpmatrix, des")
+		cores    = flag.Int("cores", 2, "number of processors")
+		n        = flag.Int("n", 16, "matrix dimension (spmatrix/mpmatrix)")
+		iters    = flag.Int("iters", 30000, "loop iterations (cacheloop)")
+		blocks   = flag.Int("blocks", 16, "blocks per core (des)")
+		ic       = flag.String("interconnect", "amba", "interconnect: amba or xpipes")
+		mode     = flag.String("mode", "arm", "arm (reference) or tg (full TG flow)")
+		traceDir = flag.String("trace-dir", "", "write per-master .trc files here")
+		tgpDir   = flag.String("tgp-dir", "", "write per-master .tgp programs here (tg mode)")
+		stats    = flag.Bool("stats", false, "print platform statistics")
+	)
+	flag.Parse()
+
+	var spec *prog.Spec
+	switch *bench {
+	case "spmatrix":
+		spec = prog.SPMatrix(*n)
+	case "cacheloop":
+		spec = prog.Cacheloop(*cores, *iters)
+	case "mpmatrix":
+		spec = prog.MPMatrix(*cores, *n)
+	case "des":
+		spec = prog.DES(*cores, *blocks)
+	default:
+		fail(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+
+	opt := exp.DefaultOptions()
+	switch *ic {
+	case "amba":
+		opt.Platform.Interconnect = platform.AMBA
+	case "xpipes":
+		opt.Platform.Interconnect = platform.XPipes
+	default:
+		fail(fmt.Errorf("unknown interconnect %q", *ic))
+	}
+
+	traced := *traceDir != "" || *mode == "tg"
+	ref, err := exp.RunReference(spec, opt, traced)
+	fail(err)
+	fmt.Printf("reference (%s, %s, %dP): %d cycles in %v\n",
+		spec.Name, opt.Platform.Interconnect, spec.Cores, ref.Makespan, ref.Wall)
+
+	if *traceDir != "" {
+		fail(os.MkdirAll(*traceDir, 0o755))
+		for i, tr := range ref.Traces {
+			path := filepath.Join(*traceDir, fmt.Sprintf("%s_m%d.trc", spec.Name, i))
+			f, err := os.Create(path)
+			fail(err)
+			fail(tr.Write(f))
+			fail(f.Close())
+			fmt.Printf("wrote %s (%d events)\n", path, len(tr.Events))
+		}
+	}
+
+	if *mode == "tg" {
+		progs, tstats, twall, err := exp.TranslateAll(spec, ref.Traces,
+			core.DefaultTranslateConfig(exp.PollRangesFor(spec)))
+		fail(err)
+		fmt.Printf("translated %d events into %d programs in %v (%d poll loops, %d polls collapsed)\n",
+			tstats.Events, len(progs), twall, tstats.PollLoops, tstats.PollReadsCollapsed)
+		if *tgpDir != "" {
+			fail(os.MkdirAll(*tgpDir, 0o755))
+			for i, p := range progs {
+				path := filepath.Join(*tgpDir, fmt.Sprintf("%s_m%d.tgp", spec.Name, i))
+				f, err := os.Create(path)
+				fail(err)
+				fail(p.Format(f))
+				fail(f.Close())
+				fmt.Printf("wrote %s (%d instructions)\n", path, len(p.Insts))
+			}
+		}
+		tg, err := exp.RunTG(spec, progs, opt)
+		fail(err)
+		gain := float64(ref.Wall) / float64(tg.Wall)
+		fmt.Printf("TG platform: %d cycles in %v (gain %.2fx, cycle error %+d)\n",
+			tg.Makespan, tg.Wall, gain, int64(tg.Makespan)-int64(ref.Makespan))
+	}
+
+	if *stats {
+		sys := ref.Sys
+		if sys.Bus != nil {
+			fmt.Printf("bus: busy %d cycles, idle %d, grants %d\n",
+				sys.Bus.BusyCycles(), sys.Bus.IdleCycles(), sys.Bus.TotalGrants())
+			for i, w := range sys.Bus.WaitCycles {
+				fmt.Printf("  master %d: %d grants, %d wait cycles\n", i, sys.Bus.Grants[i], w)
+			}
+		}
+		if sys.Net != nil {
+			fmt.Printf("noc: %d flits routed over %d nodes\n", sys.Net.FlitsRouted(), sys.Net.Nodes())
+		}
+		acq, fails, rel := sys.Sems.Stats()
+		fmt.Printf("semaphores: %d acquires, %d failed polls, %d releases\n", acq, fails, rel)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Command tgc is the TG compiler driver (Section 5's translator +
+// assembler): it converts .trc traces into symbolic .tgp programs and .bin
+// binary images, assembles hand-written .tgp files, and disassembles .bin
+// images back to .tgp.
+//
+// Examples:
+//
+//	tgc -trc m0.trc -tgp m0.tgp -bin m0.bin        # translate + assemble
+//	tgc -trc m0.trc -timeshift -tgp m0_ts.tgp      # non-reactive baseline
+//	tgc -asm hand.tgp -bin hand.bin                # assemble only
+//	tgc -dump m0.bin                               # disassemble
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noctg/internal/core"
+	"noctg/internal/layout"
+	"noctg/internal/trace"
+)
+
+func main() {
+	var (
+		trcPath   = flag.String("trc", "", "input .trc trace to translate")
+		asmPath   = flag.String("asm", "", "input .tgp program to assemble")
+		dumpPath  = flag.String("dump", "", "input .bin image to disassemble to stdout")
+		tgpOut    = flag.String("tgp", "", "output .tgp path")
+		binOut    = flag.String("bin", "", "output .bin path")
+		timeshift = flag.Bool("timeshift", false, "disable poll recognition (time-shifting baseline)")
+		rewind    = flag.Bool("rewind", false, "end with Jump(start) instead of Halt (free-running TG)")
+		pollGap   = flag.Uint64("pollgap", core.DefaultPollGap, "fallback poll period in cycles")
+	)
+	flag.Parse()
+
+	switch {
+	case *dumpPath != "":
+		f, err := os.Open(*dumpPath)
+		fail(err)
+		p, err := core.ReadBin(f)
+		fail(f.Close())
+		fail(err)
+		fail(p.Format(os.Stdout))
+	case *trcPath != "":
+		f, err := os.Open(*trcPath)
+		fail(err)
+		tr, err := trace.Parse(f)
+		fail(f.Close())
+		fail(err)
+		cfg := core.TranslateConfig{
+			PollRanges:     []core.PollRange{{Range: layout.SemRange()}},
+			DefaultPollGap: *pollGap,
+			RecognizePolls: !*timeshift,
+			Rewind:         *rewind,
+		}
+		p, stats, err := core.Translate(tr, cfg)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "tgc: %d events -> %d instructions (%d poll loops, %d polls collapsed, %d clamped cycles)\n",
+			stats.Events, len(p.Insts), stats.PollLoops, stats.PollReadsCollapsed, stats.ClampedCycles)
+		emit(p, *tgpOut, *binOut)
+	case *asmPath != "":
+		src, err := os.ReadFile(*asmPath)
+		fail(err)
+		p, err := core.Assemble(string(src))
+		fail(err)
+		emit(p, *tgpOut, *binOut)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emit(p *core.Program, tgpOut, binOut string) {
+	if tgpOut != "" {
+		f, err := os.Create(tgpOut)
+		fail(err)
+		fail(p.Format(f))
+		fail(f.Close())
+	}
+	if binOut != "" {
+		f, err := os.Create(binOut)
+		fail(err)
+		fail(p.WriteBin(f))
+		fail(f.Close())
+	}
+	if tgpOut == "" && binOut == "" {
+		fail(p.Format(os.Stdout))
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tgc:", err)
+		os.Exit(1)
+	}
+}

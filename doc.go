@@ -1,0 +1,27 @@
+// Package noctg is a Go reproduction of "A Network Traffic Generator Model
+// for Fast Network-on-Chip Simulation" (Mahadevan, Angiolini, Storgaard,
+// Olsen, Sparsø, Madsen — DATE 2005): a complete MPARM-like cycle-true
+// MPSoC simulation platform, and on top of it the paper's reactive Traffic
+// Generator (TG) flow that replaces bit- and cycle-true IP cores with tiny
+// trace-programmed processors for 2–5× faster interconnect design-space
+// exploration at ≈100% cycle accuracy.
+//
+// The flow, end to end:
+//
+//	bench := noctg.MPMatrix(4, 16)                     // an SPMD workload
+//	ref, _ := noctg.RunReference(bench, opt, true)     // cycle-true ARM run, traced
+//	progs, _, _, _ := noctg.TranslateAll(bench, ref.Traces,
+//	        noctg.DefaultTranslateConfig(noctg.PollRangesFor(bench)))
+//	tg, _ := noctg.RunTG(bench, progs, opt)            // TGs replace the cores
+//	// tg.Makespan ≈ ref.Makespan, tg.Wall ≪ ref.Wall
+//
+// The package is a facade over the implementation packages under internal/:
+// simulation kernel (sim), OCP transaction layer (ocp), memories and
+// hardware semaphores (mem), AMBA AHB-style bus (amba), ×pipes-style
+// wormhole NoC (noc), caches (cache), the miniARM ISS and its assembler
+// (cpu), the Table 2 benchmarks (prog), the .trc trace format (trace), the
+// TG instruction set / translator / device (core), baseline generators
+// (replay, stochastic), platform assembly (platform) and the experiment
+// harness (exp). See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for measured-vs-paper results.
+package noctg

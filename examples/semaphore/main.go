@@ -1,0 +1,76 @@
+// Semaphore: the paper's Figure 2(b) scenario, executed with hand-written
+// TG programs.
+//
+// Master M1 locks the hardware semaphore, holds it for a fixed working
+// period, and unlocks it. Master M2 tries to take the semaphore and must
+// poll until M1's unlock propagates. The number of polling transactions M2
+// issues depends on interconnect latency — which is exactly the reactive
+// behaviour a trace-replaying ("cloning") generator cannot reproduce. The
+// example sweeps the slave access time and shows M2's poll count adapting
+// while the outcome stays correct.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noctg"
+)
+
+const m1Src = `; M1: lock, work, unlock (Figure 2(b), left)
+MASTER[0,0]
+REGISTER addr 0x09000000
+REGISTER data 0x00000001
+REGISTER tempreg 0x00000001
+BEGIN
+Semchk0:
+	Read(addr)
+	If rdreg != tempreg then Semchk0
+	Idle(120)            ; critical section work
+	Write(addr, data)    ; unlock
+	Halt
+END`
+
+const m2Src = `; M2: arrive a little later, poll until granted (Figure 2(b), right)
+MASTER[1,0]
+REGISTER addr 0x09000000
+REGISTER tempreg 0x00000001
+BEGIN
+	Idle(10)
+Semchk0:
+	Read(addr)
+	Idle(6)
+	If rdreg != tempreg then Semchk0
+	Halt
+END`
+
+func main() {
+	m1, err := noctg.AssembleTGP(m1Src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2, err := noctg.AssembleTGP(m2Src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-24s %10s %10s %12s %10s\n",
+		"slave access time", "M1 done", "M2 done", "M2 polls", "sem fails")
+	for _, wait := range []uint64{1, 4, 8, 16, 32} {
+		cfg := noctg.PlatformConfig{Cores: 2, MemWaitStates: wait}
+		sys, err := noctg.BuildTG(cfg, []*noctg.TGProgram{m1, m2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Run(1_000_000); err != nil {
+			log.Fatal(err)
+		}
+		d1 := sys.Masters[0].(*noctg.TGDevice)
+		d2 := sys.Masters[1].(*noctg.TGDevice)
+		_, fails, _ := sys.Sems.Stats()
+		fmt.Printf("%-24d %10d %10d %12d %10d\n",
+			wait, d1.HaltCycle(), d2.HaltCycle(), d2.Transactions, fails)
+	}
+	fmt.Println("\nM2's transaction count adapts to the interconnect — the reactive")
+	fmt.Println("behaviour of Section 3 that cloning and time-shifting models lack.")
+}

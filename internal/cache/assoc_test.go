@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTwoWayHoldsAliasingLines(t *testing.T) {
+	// 4 lines, 2 ways → 2 sets, 8-byte lines, 16-byte set stride.
+	c := New(Config{Lines: 4, WordsPerLine: 2, Ways: 2})
+	c.Fill(0x00, []uint32{1, 2})
+	c.Fill(0x10, []uint32{3, 4}) // same set, different tag
+	if v, ok := c.Lookup(0x00); !ok || v != 1 {
+		t.Fatal("first way evicted by second fill")
+	}
+	if v, ok := c.Lookup(0x10); !ok || v != 3 {
+		t.Fatal("second way missing")
+	}
+	// A direct-mapped cache of the same size thrashes on this pattern.
+	d := New(Config{Lines: 4, WordsPerLine: 2, Ways: 1})
+	d.Fill(0x00, []uint32{1, 2})
+	d.Fill(0x20, []uint32{3, 4}) // aliases line 0 with 4 lines
+	if _, ok := d.Lookup(0x00); ok {
+		t.Fatal("direct-mapped should have evicted")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := New(Config{Lines: 4, WordsPerLine: 2, Ways: 2})
+	c.Fill(0x00, []uint32{10, 0}) // set 0, tag 0
+	c.Fill(0x10, []uint32{20, 0}) // set 0, tag 1
+	// Touch tag 0 so tag 1 becomes LRU.
+	if _, ok := c.Lookup(0x00); !ok {
+		t.Fatal("setup lookup failed")
+	}
+	c.Fill(0x20, []uint32{30, 0}) // set 0, tag 2 → evicts tag 1
+	if _, ok := c.Lookup(0x00); !ok {
+		t.Fatal("MRU line evicted")
+	}
+	if _, ok := c.Lookup(0x10); ok {
+		t.Fatal("LRU line survived")
+	}
+	if v, ok := c.Lookup(0x20); !ok || v != 30 {
+		t.Fatal("new line missing")
+	}
+}
+
+func TestUpdateWritesThroughAssociative(t *testing.T) {
+	c := New(Config{Lines: 4, WordsPerLine: 2, Ways: 2})
+	c.Fill(0x10, []uint32{1, 2})
+	c.Update(0x14, 99)
+	if v, _ := c.Lookup(0x14); v != 99 {
+		t.Fatal("update missed the resident way")
+	}
+}
+
+func TestBadWaysPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ways=3 should panic")
+		}
+	}()
+	New(Config{Lines: 8, WordsPerLine: 2, Ways: 3})
+}
+
+func TestWaysExceedLinesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ways>Lines should panic")
+		}
+	}()
+	New(Config{Lines: 2, WordsPerLine: 2, Ways: 4})
+}
+
+func TestAssociativeVersusModelProperty(t *testing.T) {
+	// Whatever the associativity, a Lookup hit must always return the last
+	// Filled/Updated value for that address.
+	for _, ways := range []int{1, 2, 4} {
+		c := New(Config{Lines: 8, WordsPerLine: 2, Ways: ways})
+		rng := rand.New(rand.NewSource(int64(ways)))
+		model := map[uint32]uint32{}
+		for i := 0; i < 2000; i++ {
+			addr := uint32(rng.Intn(64)) * 4
+			switch rng.Intn(3) {
+			case 0:
+				base := c.LineBase(addr)
+				words := []uint32{rng.Uint32(), rng.Uint32()}
+				c.Fill(base, words)
+				model[base] = words[0]
+				model[base+4] = words[1]
+			case 1:
+				v := rng.Uint32()
+				if _, resident := c.Lookup(addr); resident {
+					c.Update(addr, v)
+					model[addr] = v
+				}
+			default:
+				if v, ok := c.Lookup(addr); ok && v != model[addr] {
+					t.Fatalf("ways=%d: stale value at %#x: got %d want %d", ways, addr, v, model[addr])
+				}
+			}
+		}
+	}
+}
+
+func TestFullyAssociativeNeverConflicts(t *testing.T) {
+	// Ways == Lines: one set; any 4 distinct lines coexist.
+	c := New(Config{Lines: 4, WordsPerLine: 2, Ways: 4})
+	for i := uint32(0); i < 4; i++ {
+		c.Fill(i*8, []uint32{i + 1, 0})
+	}
+	for i := uint32(0); i < 4; i++ {
+		if v, ok := c.Lookup(i * 8); !ok || v != i+1 {
+			t.Fatalf("line %d missing in fully associative cache", i)
+		}
+	}
+}

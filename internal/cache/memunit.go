@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"fmt"
+
+	"noctg/internal/ocp"
+)
+
+// OpKind distinguishes the three memory operations a core performs.
+type OpKind int
+
+const (
+	// OpFetch is an instruction fetch (through the I-cache when cacheable).
+	OpFetch OpKind = iota
+	// OpLoad is a data load (through the D-cache when cacheable).
+	OpLoad
+	// OpStore is a data store (write-through, posted).
+	OpStore
+)
+
+type muState int
+
+const (
+	muIdle muState = iota
+	muHit          // resolves on the next tick (1-cycle cache access)
+	muIssue
+	muWait
+)
+
+// MemUnit funnels a core's instruction fetches and data accesses onto its
+// single OCP master port, implementing the cache policies:
+//
+//   - cacheable fetch/load: 1-cycle hit, or a burst line refill;
+//   - cacheable store: write-through (update line if resident) + posted write;
+//   - non-cacheable access: single-word OCP read/write (shared memory and
+//     the semaphore bank must never be cached — there is no coherence).
+//
+// The unit handles one operation at a time (the cores are in-order,
+// single-pipeline, exactly like the paper's ARM masters). It is driven by
+// the owning core's Tick, not registered with the engine directly.
+type MemUnit struct {
+	port      ocp.MasterPort
+	icache    *Cache
+	dcache    *Cache
+	cacheable []ocp.AddrRange
+
+	state   muState
+	op      OpKind
+	addr    uint32
+	stData  uint32
+	cached  bool
+	req     ocp.Request
+	result  uint32
+	done    bool
+	faulted bool
+}
+
+// NewMemUnit builds a memory unit over port with the given caches (either
+// may be nil to disable caching for that stream) and cacheable ranges.
+func NewMemUnit(port ocp.MasterPort, icache, dcache *Cache, cacheable []ocp.AddrRange) *MemUnit {
+	if port == nil {
+		panic("cache: NewMemUnit requires a port")
+	}
+	return &MemUnit{port: port, icache: icache, dcache: dcache, cacheable: cacheable}
+}
+
+// ICache returns the instruction cache (may be nil).
+func (m *MemUnit) ICache() *Cache { return m.icache }
+
+// DCache returns the data cache (may be nil).
+func (m *MemUnit) DCache() *Cache { return m.dcache }
+
+// Cacheable reports whether addr falls in a cacheable range.
+func (m *MemUnit) Cacheable(addr uint32) bool {
+	for _, r := range m.cacheable {
+		if r.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Busy reports whether an operation is in progress.
+func (m *MemUnit) Busy() bool { return m.state != muIdle }
+
+// Faulted reports whether a bus error terminated an operation.
+func (m *MemUnit) Faulted() bool { return m.faulted }
+
+// Begin starts a memory operation. The unit must be idle.
+func (m *MemUnit) Begin(op OpKind, addr uint32, data uint32) {
+	if m.state != muIdle {
+		panic("cache: MemUnit.Begin while busy")
+	}
+	if addr%4 != 0 {
+		panic(fmt.Sprintf("cache: unaligned access %#08x", addr))
+	}
+	m.op = op
+	m.addr = addr
+	m.stData = data
+	m.done = false
+	m.cached = m.Cacheable(addr)
+
+	c := m.cacheFor(op)
+	switch op {
+	case OpFetch, OpLoad:
+		if m.cached && c != nil {
+			if v, ok := c.Lookup(addr); ok {
+				m.result = v
+				m.state = muHit
+				return
+			}
+			// Miss: burst refill of the whole line.
+			m.req = ocp.Request{Cmd: ocp.BurstRead, Addr: c.LineBase(addr), Burst: c.Config().WordsPerLine}
+			m.state = muIssue
+			return
+		}
+		m.req = ocp.Request{Cmd: ocp.Read, Addr: addr, Burst: 1}
+		m.state = muIssue
+	case OpStore:
+		if m.cached && m.dcache != nil {
+			m.dcache.Update(addr, data)
+		}
+		m.req = ocp.Request{Cmd: ocp.Write, Addr: addr, Burst: 1, Data: []uint32{data}}
+		m.state = muIssue
+	}
+}
+
+func (m *MemUnit) cacheFor(op OpKind) *Cache {
+	if op == OpFetch {
+		return m.icache
+	}
+	return m.dcache
+}
+
+// Tick advances the in-flight operation by one cycle. The owning core must
+// call it once per cycle before inspecting TakeResult.
+func (m *MemUnit) Tick(cycle uint64) {
+	switch m.state {
+	case muHit:
+		m.done = true
+		m.state = muIdle
+	case muIssue:
+		if m.port.TryRequest(&m.req) {
+			if m.req.Cmd.IsRead() {
+				m.state = muWait
+			} else {
+				// Posted write: complete at acceptance.
+				m.done = true
+				m.state = muIdle
+			}
+		}
+	case muWait:
+		resp, ok := m.port.TakeResponse()
+		if !ok {
+			return
+		}
+		if resp.Err {
+			m.faulted = true
+			m.done = true
+			m.state = muIdle
+			return
+		}
+		if m.req.Cmd == ocp.BurstRead {
+			c := m.cacheFor(m.op)
+			c.Fill(m.req.Addr, resp.Data)
+			_, word, _ := c.index(m.addr)
+			m.result = resp.Data[word]
+		} else {
+			m.result = resp.Data[0]
+		}
+		m.done = true
+		m.state = muIdle
+	}
+}
+
+// TakeResult returns the completed operation's value (loads/fetches) once
+// per operation. Stores complete with value 0.
+func (m *MemUnit) TakeResult() (uint32, bool) {
+	if !m.done {
+		return 0, false
+	}
+	m.done = false
+	return m.result, true
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"noctg/internal/ocp"
+	"noctg/internal/sim"
+)
+
+type devState int
+
+const (
+	dRun devState = iota
+	dIdle
+	dIssue
+	dWait
+	dHalt
+)
+
+// Device is the multi-cycle TG processor of Section 4: an instruction
+// memory, a register file, and no data memory. It drives an OCP master
+// port and implements platform.Master, so it drops into any slot an ARM
+// core occupies.
+//
+// Cycle costs (the translator's arithmetic depends on these exactly):
+//
+//	SetRegister, If, Jump, Halt : 1 cycle
+//	Idle(n)                     : n cycles
+//	Read/BurstRead              : asserts on its first cycle, completes the
+//	                              cycle the response arrives
+//	Write/BurstWrite            : asserts on its first cycle, completes the
+//	                              cycle the interconnect accepts it
+type Device struct {
+	prog *Program
+	port ocp.MasterPort
+	id   int
+
+	regs     [NumRegs]uint32
+	pc       int
+	state    devState
+	idleLeft uint32
+	req      ocp.Request
+
+	halted    bool
+	faulted   bool
+	haltCycle uint64
+
+	// InstRet counts executed TG instructions; Transactions counts issued
+	// OCP commands.
+	InstRet      uint64
+	Transactions uint64
+}
+
+// NewDevice builds a TG executing prog through port. The program's declared
+// register initial values are loaded into the register file.
+func NewDevice(prog *Program, port ocp.MasterPort) (*Device, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if port == nil {
+		return nil, fmt.Errorf("core: NewDevice requires a port")
+	}
+	d := &Device{prog: prog, port: port, id: prog.MasterID}
+	for i, v := range prog.RegInit {
+		d.regs[i] = v
+	}
+	return d, nil
+}
+
+// Name implements sim.Named.
+func (d *Device) Name() string { return fmt.Sprintf("tg%d", d.id) }
+
+// Done reports whether the TG halted (platform.Master).
+func (d *Device) Done() bool { return d.halted }
+
+// Faulted reports whether the TG stopped on a bus error.
+func (d *Device) Faulted() bool { return d.faulted }
+
+// HaltCycle returns the cycle Halt executed.
+func (d *Device) HaltCycle() uint64 { return d.haltCycle }
+
+// Reg returns register i (diagnostics).
+func (d *Device) Reg(i int) uint32 { return d.regs[i] }
+
+// PC returns the current instruction index.
+func (d *Device) PC() int { return d.pc }
+
+// Preemptible reports whether the device is at a safe point for a
+// multitasking scheduler to suspend it: between instructions or inside an
+// Idle wait, but never with an OCP transaction in flight.
+func (d *Device) Preemptible() bool {
+	return d.state == dRun || d.state == dIdle || d.state == dHalt
+}
+
+// Idling reports whether the device is inside an Idle wait (its countdown
+// may be advanced by a scheduler even while the task is suspended).
+func (d *Device) Idling() bool { return d.state == dIdle }
+
+// Tick implements sim.Device.
+func (d *Device) Tick(cycle uint64) {
+	switch d.state {
+	case dHalt:
+		return
+	case dIdle:
+		d.idleLeft--
+		if d.idleLeft == 0 {
+			d.state = dRun
+		}
+		return
+	case dIssue:
+		if d.port.TryRequest(&d.req) {
+			d.Transactions++
+			if d.req.Cmd.IsRead() {
+				d.state = dWait
+			} else {
+				d.advance()
+			}
+		}
+		return
+	case dWait:
+		resp, ok := d.port.TakeResponse()
+		if !ok {
+			return
+		}
+		if resp.Err {
+			d.fault(cycle)
+			return
+		}
+		if len(resp.Data) > 0 {
+			d.regs[RdReg] = resp.Data[0]
+		}
+		d.advance()
+		return
+	}
+	// dRun: execute the instruction at pc (one per cycle).
+	if d.pc >= len(d.prog.Insts) {
+		d.halt(cycle)
+		return
+	}
+	in := d.prog.Insts[d.pc]
+	d.InstRet++
+	switch in.Op {
+	case SetRegister:
+		d.regs[in.Rd] = in.Imm
+		d.pc++
+	case If:
+		if in.Cnd.Eval(d.regs[in.Ra], d.regs[in.Rb]) {
+			d.pc = int(in.Imm)
+		} else {
+			d.pc++
+		}
+	case Jump:
+		d.pc = int(in.Imm)
+	case Idle:
+		n := in.Imm
+		if in.Rb == 1 {
+			n = d.regs[in.Ra]
+		}
+		d.pc++
+		if n <= 1 {
+			return
+		}
+		d.idleLeft = n - 1
+		d.state = dIdle
+	case Halt:
+		d.halt(cycle)
+	case Read:
+		d.issue(ocp.Request{Cmd: ocp.Read, Addr: d.regs[in.Ra], Burst: 1, MasterID: d.id})
+	case BurstRead:
+		d.issue(ocp.Request{Cmd: ocp.BurstRead, Addr: d.regs[in.Ra], Burst: int(in.Imm), MasterID: d.id})
+	case Write:
+		d.issue(ocp.Request{Cmd: ocp.Write, Addr: d.regs[in.Ra], Burst: 1,
+			Data: []uint32{d.regs[in.Rb]}, MasterID: d.id})
+	case BurstWrite:
+		data := make([]uint32, in.Imm)
+		for i := range data {
+			data[i] = d.regs[in.Rb]
+		}
+		d.issue(ocp.Request{Cmd: ocp.BurstWrite, Addr: d.regs[in.Ra], Burst: int(in.Imm),
+			Data: data, MasterID: d.id})
+	}
+}
+
+// issue asserts the request this cycle (TryRequest is expected to reject
+// until the interconnect latches it on a later cycle).
+func (d *Device) issue(req ocp.Request) {
+	d.req = req
+	if d.port.TryRequest(&d.req) {
+		// Some fabrics could accept immediately; handle it uniformly.
+		d.Transactions++
+		if req.Cmd.IsRead() {
+			d.state = dWait
+		} else {
+			d.advance()
+		}
+		return
+	}
+	d.state = dIssue
+}
+
+func (d *Device) advance() {
+	d.pc++
+	d.state = dRun
+}
+
+func (d *Device) halt(cycle uint64) {
+	d.halted = true
+	d.haltCycle = cycle
+	d.state = dHalt
+}
+
+func (d *Device) fault(cycle uint64) {
+	d.faulted = true
+	d.halt(cycle)
+}
+
+var _ sim.Device = (*Device)(nil)
+
+// DebugState exposes the FSM state for diagnostics.
+func (d *Device) DebugState() string {
+	switch d.state {
+	case dRun:
+		return "run"
+	case dIdle:
+		return fmt.Sprintf("idle(%d)", d.idleLeft)
+	case dIssue:
+		return "issue"
+	case dWait:
+		return "wait"
+	case dHalt:
+		return "halt"
+	}
+	return "?"
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"noctg/internal/amba"
+	"noctg/internal/ocp"
+	"noctg/internal/sim"
+)
+
+// --- SlaveTG (paper §4: slave-side traffic generators) ---
+
+func TestSlaveTGDummyResponds(t *testing.T) {
+	s := NewSlaveTG(DummySlave, 1, 0xabcd)
+	r1 := s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: 0x100, Burst: 1})
+	r2 := s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: 0x100, Burst: 1})
+	r3 := s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: 0x104, Burst: 1})
+	if r1.Err || len(r1.Data) != 1 {
+		t.Fatal("dummy read failed")
+	}
+	if r1.Data[0] != r2.Data[0] {
+		t.Fatal("dummy values must be deterministic per address")
+	}
+	if r1.Data[0] == r3.Data[0] {
+		t.Fatal("dummy values should vary by address")
+	}
+	// Writes are accepted and discarded.
+	if resp := s.Perform(&ocp.Request{Cmd: ocp.Write, Addr: 0x100, Burst: 1, Data: []uint32{7}}); resp.Err {
+		t.Fatal("dummy write rejected")
+	}
+	r4 := s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: 0x100, Burst: 1})
+	if r4.Data[0] != r1.Data[0] {
+		t.Fatal("dummy slave must not store writes")
+	}
+	if s.Reads != 3+1 || s.Writes != 1 {
+		t.Fatalf("stats reads=%d writes=%d", s.Reads, s.Writes)
+	}
+}
+
+func TestSlaveTGMemoryStores(t *testing.T) {
+	s := NewSlaveTG(MemorySlave, 2, 0)
+	s.Perform(&ocp.Request{Cmd: ocp.BurstWrite, Addr: 0x200, Burst: 2, Data: []uint32{5, 6}})
+	resp := s.Perform(&ocp.Request{Cmd: ocp.BurstRead, Addr: 0x200, Burst: 2})
+	if resp.Data[0] != 5 || resp.Data[1] != 6 {
+		t.Fatalf("memory slave read back %v", resp.Data)
+	}
+	if s.Peek(0x204) != 6 {
+		t.Fatal("Peek")
+	}
+	// Unwritten words read as zero.
+	resp = s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: 0x300, Burst: 1})
+	if resp.Data[0] != 0 {
+		t.Fatal("unwritten word should be zero")
+	}
+}
+
+func TestSlaveTGAccessCycles(t *testing.T) {
+	s := NewSlaveTG(DummySlave, 3, 0)
+	if s.AccessCycles(&ocp.Request{Cmd: ocp.BurstRead, Burst: 4}) != 12 {
+		t.Fatal("access cycles must scale with burst")
+	}
+	if s.Mode() != DummySlave || s.Mode().String() != "dummy" {
+		t.Fatal("mode")
+	}
+	if MemorySlave.String() != "memory" {
+		t.Fatal("mode string")
+	}
+}
+
+func TestAllTGPlatform(t *testing.T) {
+	// The silicon-test-chip scenario: master TGs and slave TGs only, no
+	// real cores or memories anywhere.
+	e := sim.NewEngine(sim.Clock{})
+	bus := amba.New(amba.Config{}, e.Cycle)
+	slave := NewSlaveTG(MemorySlave, 1, 0)
+	if err := bus.MapSlave(slave, ocp.AddrRange{Base: 0x1000, Size: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	prog := mustAssemble(t, `MASTER[0,0]
+REGISTER addr 0x1000
+REGISTER data 0
+BEGIN
+	SetRegister(data, 0x77)
+	Write(addr, data)
+	Idle(3)
+	Read(addr)
+	Halt
+END`)
+	d, err := NewDevice(prog, bus.NewMasterPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Add(d)
+	e.Add(bus)
+	if _, err := e.Run(1000, func() bool { return d.Done() && bus.Idle() }); err != nil {
+		t.Fatal(err)
+	}
+	if d.Reg(RdReg) != 0x77 {
+		t.Fatalf("TG read back %#x through slave TG", d.Reg(RdReg))
+	}
+}
+
+// --- MultiTask (paper §7: OS-scheduled tasks on one processor) ---
+
+// taskProg builds a program that reads addr, idles, and finally writes val
+// to addr — enough structure to expose unsafe preemption if it existed.
+func taskProg(t *testing.T, addr, val uint32, idle int) *Program {
+	t.Helper()
+	src := fmt.Sprintf(`MASTER[0,0]
+REGISTER addr %#x
+REGISTER data %#x
+BEGIN
+	Read(addr)
+	Idle(%d)
+	Write(addr, data)
+	Idle(%d)
+	Write(addr, data)
+	Halt
+END`, addr, val, 10+idle, 5+idle)
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMultiTaskCompletesAllTasks(t *testing.T) {
+	e := sim.NewEngine(sim.Clock{})
+	bus := amba.New(amba.Config{}, e.Cycle)
+	slave := NewSlaveTG(MemorySlave, 1, 0)
+	if err := bus.MapSlave(slave, ocp.AddrRange{Base: 0x1000, Size: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	progs := []*Program{
+		taskProg(t, 0x1000, 0xaaaa, 1),
+		taskProg(t, 0x1004, 0xbbbb, 1),
+		taskProg(t, 0x1008, 0xcccc, 1),
+	}
+	mt, err := NewMultiTask(MultiTaskConfig{Timeslice: 10, SwitchPenalty: 5}, progs, bus.NewMasterPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Add(mt)
+	e.Add(bus)
+	if _, err := e.Run(100_000, func() bool { return mt.Done() && bus.Idle() }); err != nil {
+		t.Fatal(err)
+	}
+	if slave.Peek(0x1000) != 0xaaaa || slave.Peek(0x1004) != 0xbbbb || slave.Peek(0x1008) != 0xcccc {
+		t.Fatal("not all tasks' writes landed")
+	}
+	if mt.Switches == 0 {
+		t.Fatal("expected context switches")
+	}
+}
+
+func TestMultiTaskSwitchPenaltyCosts(t *testing.T) {
+	run := func(penalty uint64) uint64 {
+		e := sim.NewEngine(sim.Clock{})
+		bus := amba.New(amba.Config{}, e.Cycle)
+		slave := NewSlaveTG(MemorySlave, 1, 0)
+		if err := bus.MapSlave(slave, ocp.AddrRange{Base: 0x1000, Size: 0x1000}); err != nil {
+			t.Fatal(err)
+		}
+		progs := []*Program{
+			taskProg(t, 0x1000, 1, 1),
+			taskProg(t, 0x1004, 2, 1),
+		}
+		mt, err := NewMultiTask(MultiTaskConfig{Timeslice: 8, SwitchPenalty: penalty}, progs, bus.NewMasterPort())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Add(mt)
+		e.Add(bus)
+		if _, err := e.Run(100_000, func() bool { return mt.Done() && bus.Idle() }); err != nil {
+			t.Fatal(err)
+		}
+		return mt.HaltCycle()
+	}
+	if fast, slow := run(1), run(50); slow <= fast {
+		t.Fatalf("higher switch penalty should lengthen the run (%d vs %d)", fast, slow)
+	}
+}
+
+func TestMultiTaskNeverPreemptsMidTransaction(t *testing.T) {
+	// With a 1-cycle timeslice every instruction boundary is a switch
+	// point; the port discipline (one outstanding transaction) would be
+	// violated — and the bus would mis-sequence — if a task were suspended
+	// mid-transaction. Completing correctly is the proof.
+	e := sim.NewEngine(sim.Clock{})
+	bus := amba.New(amba.Config{}, e.Cycle)
+	slave := NewSlaveTG(MemorySlave, 4, 0) // slow: transactions span slices
+	if err := bus.MapSlave(slave, ocp.AddrRange{Base: 0x1000, Size: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	progs := []*Program{
+		taskProg(t, 0x1000, 11, 1),
+		taskProg(t, 0x1004, 22, 1),
+	}
+	mt, err := NewMultiTask(MultiTaskConfig{Timeslice: 1, SwitchPenalty: 2}, progs, bus.NewMasterPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Add(mt)
+	e.Add(bus)
+	if _, err := e.Run(100_000, func() bool { return mt.Done() && bus.Idle() }); err != nil {
+		t.Fatal(err)
+	}
+	if slave.Peek(0x1000) != 11 || slave.Peek(0x1004) != 22 {
+		t.Fatal("interleaved tasks corrupted each other")
+	}
+}
+
+func TestMultiTaskIdleTimersRun(t *testing.T) {
+	// Task 0 sleeps a long Idle; task 1 does short work. With RunIdleTimers
+	// the sleeper's countdown overlaps task 1's slices, so the makespan is
+	// close to the Idle length rather than the sum.
+	build := func(runTimers bool) uint64 {
+		e := sim.NewEngine(sim.Clock{})
+		bus := amba.New(amba.Config{}, e.Cycle)
+		slave := NewSlaveTG(MemorySlave, 1, 0)
+		if err := bus.MapSlave(slave, ocp.AddrRange{Base: 0x1000, Size: 0x100}); err != nil {
+			t.Fatal(err)
+		}
+		sleeper := mustAssemble(t, "MASTER[0,0]\nBEGIN\nIdle(2000)\nHalt\nEND")
+		worker := mustAssemble(t, `MASTER[0,0]
+REGISTER addr 0x1000
+REGISTER data 9
+BEGIN
+	Write(addr, data)
+	Idle(400)
+	Halt
+END`)
+		mt, err := NewMultiTask(MultiTaskConfig{Timeslice: 50, SwitchPenalty: 2, RunIdleTimers: runTimers},
+			[]*Program{sleeper, worker}, bus.NewMasterPort())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Add(mt)
+		e.Add(bus)
+		if _, err := e.Run(100_000, func() bool { return mt.Done() && bus.Idle() }); err != nil {
+			t.Fatal(err)
+		}
+		return mt.HaltCycle()
+	}
+	overlapped, frozen := build(true), build(false)
+	if overlapped >= frozen {
+		t.Fatalf("overlapping idle timers should shorten the run (%d vs %d)", overlapped, frozen)
+	}
+}
+
+func TestMultiTaskErrors(t *testing.T) {
+	if _, err := NewMultiTask(MultiTaskConfig{}, nil, idlePortStub{}); err == nil {
+		t.Fatal("empty task list should fail")
+	}
+	bad := &Program{Insts: []Inst{{Op: Jump, Imm: 9}}}
+	if _, err := NewMultiTask(MultiTaskConfig{}, []*Program{bad}, idlePortStub{}); err == nil {
+		t.Fatal("invalid program should fail")
+	}
+}
+
+type idlePortStub struct{}
+
+func (idlePortStub) TryRequest(*ocp.Request) bool        { return false }
+func (idlePortStub) TakeResponse() (*ocp.Response, bool) { return nil, false }
+func (idlePortStub) Busy() bool                          { return false }
+
+func TestDevicePreemptibleStates(t *testing.T) {
+	p := mustAssemble(t, `MASTER[0,0]
+REGISTER addr 0x100
+BEGIN
+	Idle(5)
+	Read(addr)
+	Halt
+END`)
+	var cycle uint64
+	port := &fakePort{now: func() uint64 { return cycle }, acceptDelay: 3, respDelay: 5,
+		memory: map[uint32]uint32{0x100: 1}}
+	d, err := NewDevice(p, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawIdle, sawBlocked := false, false
+	for ; !d.Done(); cycle++ {
+		d.Tick(cycle)
+		if d.Idling() {
+			sawIdle = true
+			if !d.Preemptible() {
+				t.Fatal("idling device must be preemptible")
+			}
+		}
+		if !d.Preemptible() {
+			sawBlocked = true
+		}
+	}
+	if !sawIdle || !sawBlocked {
+		t.Fatalf("state coverage: idle=%v blocked=%v", sawIdle, sawBlocked)
+	}
+}

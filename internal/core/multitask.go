@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"noctg/internal/ocp"
+	"noctg/internal/sim"
+)
+
+// MultiTaskConfig parameterises the multitasking TG master.
+type MultiTaskConfig struct {
+	// Timeslice is the scheduling quantum in cycles (default 500).
+	Timeslice uint64
+	// SwitchPenalty is the context-switch cost in cycles (default 20),
+	// modelling register/cache state exchange.
+	SwitchPenalty uint64
+	// RunIdleTimers keeps suspended tasks' Idle countdowns running (a task
+	// blocked in a long Idle behaves like a sleeping process whose timer
+	// fires regardless of who is scheduled). When false, suspended tasks
+	// are fully frozen.
+	RunIdleTimers bool
+}
+
+func (c MultiTaskConfig) withDefaults() MultiTaskConfig {
+	if c.Timeslice == 0 {
+		c.Timeslice = 500
+	}
+	if c.SwitchPenalty == 0 {
+		c.SwitchPenalty = 20
+	}
+	return c
+}
+
+// MultiTask runs several TG programs ("tasks") on a single OCP master port
+// under a preemptive round-robin timeslice scheduler — the paper's §7
+// future-work scenario of "a system in which multiple tasks run on a single
+// processor and are dynamically scheduled by an OS".
+//
+// Preemption happens only at safe points: between TG instructions, never
+// while an OCP transaction is in flight (an OS cannot deschedule a core
+// mid-bus-transfer either). Each switch costs SwitchPenalty idle cycles.
+type MultiTask struct {
+	cfg   MultiTaskConfig
+	port  ocp.MasterPort
+	tasks []*Device
+
+	cur        int
+	sliceLeft  uint64
+	switchLeft uint64
+
+	halted    bool
+	haltCycle uint64
+	// Switches counts completed context switches.
+	Switches uint64
+}
+
+// NewMultiTask builds a multitasking master executing progs over port.
+func NewMultiTask(cfg MultiTaskConfig, progs []*Program, port ocp.MasterPort) (*MultiTask, error) {
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("core: MultiTask needs at least one task")
+	}
+	m := &MultiTask{cfg: cfg.withDefaults(), port: port}
+	for i, p := range progs {
+		d, err := NewDevice(p, port)
+		if err != nil {
+			return nil, fmt.Errorf("core: task %d: %w", i, err)
+		}
+		m.tasks = append(m.tasks, d)
+	}
+	m.sliceLeft = m.cfg.Timeslice
+	return m, nil
+}
+
+// Name implements sim.Named.
+func (m *MultiTask) Name() string { return "multitask" }
+
+// Done reports whether every task has halted.
+func (m *MultiTask) Done() bool { return m.halted }
+
+// HaltCycle returns the cycle the last task halted.
+func (m *MultiTask) HaltCycle() uint64 { return m.haltCycle }
+
+// Task returns task i's device (diagnostics).
+func (m *MultiTask) Task(i int) *Device { return m.tasks[i] }
+
+// Tick implements sim.Device.
+func (m *MultiTask) Tick(cycle uint64) {
+	if m.halted {
+		return
+	}
+	m.tickSleepers(cycle)
+	if m.switchLeft > 0 {
+		m.switchLeft--
+		return
+	}
+	cur := m.tasks[m.cur]
+	if cur.Done() {
+		if !m.rotate(cycle, false) {
+			return
+		}
+		cur = m.tasks[m.cur]
+	}
+	cur.Tick(cycle)
+	if m.sliceLeft > 0 {
+		m.sliceLeft--
+	}
+	if cur.Done() {
+		m.rotate(cycle, true)
+		return
+	}
+	if m.sliceLeft == 0 && cur.Preemptible() {
+		m.rotate(cycle, true)
+	}
+}
+
+// tickSleepers advances suspended tasks that are inside an Idle wait.
+func (m *MultiTask) tickSleepers(cycle uint64) {
+	if !m.cfg.RunIdleTimers {
+		return
+	}
+	for i, t := range m.tasks {
+		if i != m.cur && t.Idling() {
+			t.Tick(cycle)
+		}
+	}
+}
+
+// rotate schedules the next runnable task; it returns false (and halts the
+// master) when none remain. When penalize is set the switch pays the
+// context-switch cost.
+func (m *MultiTask) rotate(cycle uint64, penalize bool) bool {
+	n := len(m.tasks)
+	for k := 1; k <= n; k++ {
+		i := (m.cur + k) % n
+		if !m.tasks[i].Done() {
+			if i != m.cur && penalize {
+				m.switchLeft = m.cfg.SwitchPenalty
+				m.Switches++
+			}
+			m.cur = i
+			m.sliceLeft = m.cfg.Timeslice
+			return true
+		}
+	}
+	if m.tasks[m.cur].Done() {
+		m.halted = true
+		m.haltCycle = cycle
+		return false
+	}
+	// Only the current task remains.
+	m.sliceLeft = m.cfg.Timeslice
+	return true
+}
+
+var _ sim.Device = (*MultiTask)(nil)

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"noctg/internal/ocp"
+)
+
+// SlaveMode selects how a SlaveTG answers reads.
+type SlaveMode int
+
+const (
+	// DummySlave responds with a deterministic dummy value derived from
+	// the address and discards writes — the paper's "TG emulating a slave
+	// memory (an OCP slave) … able to respond, possibly with dummy values".
+	DummySlave SlaveMode = iota
+	// MemorySlave keeps actual word storage — the paper's "TG emulating a
+	// shared memory … must contain a data structure modeling an actual
+	// shared memory (since the values read by the masters may affect the
+	// sequence of transactions seen at the master IP cores)".
+	MemorySlave
+)
+
+func (m SlaveMode) String() string {
+	switch m {
+	case DummySlave:
+		return "dummy"
+	case MemorySlave:
+		return "memory"
+	}
+	return fmt.Sprintf("SlaveMode(%d)", int(m))
+}
+
+// SlaveTG is the slave-side traffic generator of Section 4: a small state
+// machine handling OCP transactions, deployable in place of real memory
+// models on an all-TG platform (e.g. a silicon NoC test chip). It
+// implements ocp.Slave.
+type SlaveTG struct {
+	mode       SlaveMode
+	waitStates uint64
+	salt       uint32
+	words      map[uint32]uint32
+
+	// Reads and Writes count served transactions (beats).
+	Reads, Writes uint64
+}
+
+// NewSlaveTG builds a slave TG. waitStates is the emulated access time per
+// beat; salt perturbs dummy read values so distinct slaves are
+// distinguishable in traces.
+func NewSlaveTG(mode SlaveMode, waitStates uint64, salt uint32) *SlaveTG {
+	s := &SlaveTG{mode: mode, waitStates: waitStates, salt: salt}
+	if mode == MemorySlave {
+		s.words = make(map[uint32]uint32)
+	}
+	return s
+}
+
+// Mode returns the slave's response mode.
+func (s *SlaveTG) Mode() SlaveMode { return s.mode }
+
+// AccessCycles implements ocp.Slave.
+func (s *SlaveTG) AccessCycles(req *ocp.Request) uint64 {
+	return s.waitStates * uint64(req.Burst)
+}
+
+// Perform implements ocp.Slave.
+func (s *SlaveTG) Perform(req *ocp.Request) ocp.Response {
+	switch {
+	case req.Cmd.IsRead():
+		s.Reads += uint64(req.Burst)
+		data := make([]uint32, req.Burst)
+		for i := range data {
+			addr := req.Addr + uint32(4*i)
+			if s.mode == MemorySlave {
+				data[i] = s.words[addr]
+			} else {
+				data[i] = s.dummy(addr)
+			}
+		}
+		return ocp.Response{Data: data}
+	case req.Cmd.IsWrite():
+		s.Writes += uint64(req.Burst)
+		if s.mode == MemorySlave {
+			for i, v := range req.Data {
+				s.words[req.Addr+uint32(4*i)] = v
+			}
+		}
+		return ocp.Response{}
+	}
+	return ocp.Response{Err: true}
+}
+
+// dummy derives the deterministic dummy read value for addr.
+func (s *SlaveTG) dummy(addr uint32) uint32 {
+	v := addr ^ s.salt
+	v ^= v << 13
+	v ^= v >> 17
+	v ^= v << 5
+	return v
+}
+
+// Peek reads a stored word (MemorySlave only; zero when absent).
+func (s *SlaveTG) Peek(addr uint32) uint32 { return s.words[addr] }
+
+var _ ocp.Slave = (*SlaveTG)(nil)

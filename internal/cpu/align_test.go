@@ -1,0 +1,102 @@
+package cpu
+
+import "testing"
+
+func TestAlignDirective(t *testing.T) {
+	prog, err := Assemble(`
+		nop
+	.align 16
+	aligned:
+		halt`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Symbols["aligned"]%16 != 0 {
+		t.Fatalf("aligned label at %#x", prog.Symbols["aligned"])
+	}
+	// Padding must decode as NOP so fall-through execution works.
+	off := (prog.Symbols["aligned"] - 0x1000) / 4
+	for i := uint32(2); i < off; i += 2 {
+		in, ok := Decode(prog.Words[i], prog.Words[i+1])
+		if !ok || in.Op != NOP {
+			t.Fatalf("padding word %d is %v, want NOP", i, in.Op)
+		}
+	}
+}
+
+func TestAlignAlreadyAligned(t *testing.T) {
+	prog, err := Assemble(".align 16\nstart:\nhalt", 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Symbols["start"] != 0x1000 {
+		t.Fatal(".align on aligned location must not pad")
+	}
+}
+
+func TestAlignErrors(t *testing.T) {
+	for _, src := range []string{".align 0", ".align 3", ".align zzz"} {
+		if _, err := Assemble(src, 0x1000); err == nil {
+			t.Fatalf("%q should fail", src)
+		}
+	}
+}
+
+func TestAlignPaddingExecutes(t *testing.T) {
+	// Fall through NOP padding into the aligned loop.
+	r := runSrc(t, `
+		ldi r1, 3
+	.align 32
+	loop:
+		subi r1, r1, 1
+		ldi r2, 0
+		bne r1, r2, loop
+		halt`)
+	if r.core.Reg(1) != 0 {
+		t.Fatal("loop after padding did not run")
+	}
+}
+
+func TestJalLinkValue(t *testing.T) {
+	// JAL stores the return address (pc+8); JR returns exactly after it.
+	r := runSrc(t, `
+		ldi r1, 0
+		jal r14, sub
+		addi r1, r1, 100     ; must execute exactly once after return
+		halt
+	sub:
+		addi r1, r1, 1
+		jr r14`)
+	if r.core.Reg(1) != 101 {
+		t.Fatalf("r1 = %d, want 101", r.core.Reg(1))
+	}
+}
+
+func TestNopAndHaltTiming(t *testing.T) {
+	a := runSrc(t, "halt")
+	b := runSrc(t, "nop\nnop\nhalt")
+	if b.core.HaltCycle() <= a.core.HaltCycle() {
+		t.Fatal("NOPs must consume cycles")
+	}
+	if b.core.InstRet != 3 {
+		t.Fatalf("retired %d, want 3", b.core.InstRet)
+	}
+}
+
+func TestStallCyclesAccumulate(t *testing.T) {
+	r := runSrc(t, `
+		ldi r1, 0x08000000
+		ldr r2, [r1+0]     ; uncached: guaranteed stalls
+		halt`)
+	if r.core.StallCycles == 0 {
+		t.Fatal("uncached load should stall the core")
+	}
+}
+
+func TestSelfModifyingDataIsNotExecuted(t *testing.T) {
+	// Data after halt may alias I-cache lines; execution must stop at halt.
+	r := runSrc(t, "ldi r1, 1\nhalt\n.word 0xffffffff, 0xffffffff")
+	if r.core.Faulted() {
+		t.Fatal("data after halt must not fault the core")
+	}
+}

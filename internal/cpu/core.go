@@ -1,0 +1,244 @@
+package cpu
+
+import (
+	"fmt"
+
+	"noctg/internal/cache"
+	"noctg/internal/sim"
+)
+
+type coreState int
+
+const (
+	sReset coreState = iota
+	sFetch0
+	sFetch1
+	sExec
+	sMem
+	sHalted
+)
+
+// Core is one miniARM processor. It implements sim.Device and drives its
+// MemUnit (and through it, its single OCP master port) itself, so platform
+// code only registers the core.
+//
+// Reset state: all registers zero except r15, which holds the core ID (the
+// benchmarks use it for work partitioning, standing in for MPARM's
+// per-processor identification).
+type Core struct {
+	ID int
+
+	mu    *cache.MemUnit
+	regs  [16]uint32
+	pc    uint32
+	state coreState
+
+	w0, w1   uint32
+	inst     Inst
+	execLeft int
+
+	halted    bool
+	faulted   bool
+	haltCycle uint64
+
+	// InstRet counts retired instructions.
+	InstRet uint64
+	// StallCycles counts cycles spent waiting on memory.
+	StallCycles uint64
+}
+
+// NewCore builds a core with reset PC entry.
+func NewCore(id int, mu *cache.MemUnit, entry uint32) *Core {
+	if mu == nil {
+		panic("cpu: NewCore requires a MemUnit")
+	}
+	c := &Core{ID: id, mu: mu, pc: entry}
+	c.regs[15] = uint32(id)
+	return c
+}
+
+// Name implements sim.Named.
+func (c *Core) Name() string { return fmt.Sprintf("core%d", c.ID) }
+
+// Halted reports whether the core executed HALT or faulted.
+func (c *Core) Halted() bool { return c.halted }
+
+// Faulted reports whether the core stopped on a bus fault or decode error.
+func (c *Core) Faulted() bool { return c.faulted }
+
+// HaltCycle returns the cycle HALT retired (valid once Halted).
+func (c *Core) HaltCycle() uint64 { return c.haltCycle }
+
+// Reg returns register n (test/diagnostic hook).
+func (c *Core) Reg(n int) uint32 { return c.regs[n] }
+
+// PC returns the current program counter.
+func (c *Core) PC() uint32 { return c.pc }
+
+// Tick implements sim.Device: one processor clock.
+func (c *Core) Tick(cycle uint64) {
+	if c.halted {
+		return
+	}
+	c.mu.Tick(cycle)
+	if c.mu.Faulted() {
+		c.fault(cycle)
+		return
+	}
+	switch c.state {
+	case sReset:
+		c.mu.Begin(cache.OpFetch, c.pc, 0)
+		c.state = sFetch0
+	case sFetch0:
+		v, ok := c.mu.TakeResult()
+		if !ok {
+			c.StallCycles++
+			return
+		}
+		c.w0 = v
+		c.mu.Begin(cache.OpFetch, c.pc+4, 0)
+		c.state = sFetch1
+	case sFetch1:
+		v, ok := c.mu.TakeResult()
+		if !ok {
+			c.StallCycles++
+			return
+		}
+		c.w1 = v
+		inst, ok := Decode(c.w0, c.w1)
+		if !ok {
+			c.fault(cycle)
+			return
+		}
+		c.inst = inst
+		c.execLeft = ExecCycles(inst.Op)
+		c.state = sExec
+	case sExec:
+		c.execLeft--
+		if c.execLeft > 0 {
+			return
+		}
+		c.execute(cycle)
+	case sMem:
+		v, ok := c.mu.TakeResult()
+		if !ok {
+			c.StallCycles++
+			return
+		}
+		if c.inst.Op == LDR {
+			c.regs[c.inst.Rd] = v
+		}
+		c.retire(c.pc + InstBytes)
+	}
+}
+
+// execute applies the decoded instruction on its final execute cycle.
+func (c *Core) execute(cycle uint64) {
+	i := c.inst
+	next := c.pc + InstBytes
+	r := &c.regs
+	switch i.Op {
+	case NOP:
+	case HALT:
+		c.halted = true
+		c.haltCycle = cycle
+		c.InstRet++
+		return
+	case LDI:
+		r[i.Rd] = i.Imm
+	case MOV:
+		r[i.Rd] = r[i.Ra]
+	case ADD:
+		r[i.Rd] = r[i.Ra] + r[i.Rb]
+	case ADDI:
+		r[i.Rd] = r[i.Ra] + i.Imm
+	case SUB:
+		r[i.Rd] = r[i.Ra] - r[i.Rb]
+	case SUBI:
+		r[i.Rd] = r[i.Ra] - i.Imm
+	case MUL:
+		r[i.Rd] = r[i.Ra] * r[i.Rb]
+	case AND:
+		r[i.Rd] = r[i.Ra] & r[i.Rb]
+	case ANDI:
+		r[i.Rd] = r[i.Ra] & i.Imm
+	case OR:
+		r[i.Rd] = r[i.Ra] | r[i.Rb]
+	case ORI:
+		r[i.Rd] = r[i.Ra] | i.Imm
+	case XOR:
+		r[i.Rd] = r[i.Ra] ^ r[i.Rb]
+	case XORI:
+		r[i.Rd] = r[i.Ra] ^ i.Imm
+	case SHL:
+		r[i.Rd] = r[i.Ra] << (r[i.Rb] & 31)
+	case SHLI:
+		r[i.Rd] = r[i.Ra] << (i.Imm & 31)
+	case SHR:
+		r[i.Rd] = r[i.Ra] >> (r[i.Rb] & 31)
+	case SHRI:
+		r[i.Rd] = r[i.Ra] >> (i.Imm & 31)
+	case ROR:
+		sh := r[i.Rb] & 31
+		r[i.Rd] = r[i.Ra]>>sh | r[i.Ra]<<((32-sh)&31)
+	case RORI:
+		sh := i.Imm & 31
+		r[i.Rd] = r[i.Ra]>>sh | r[i.Ra]<<((32-sh)&31)
+	case BEQ:
+		if r[i.Ra] == r[i.Rb] {
+			next = i.Imm
+		}
+	case BNE:
+		if r[i.Ra] != r[i.Rb] {
+			next = i.Imm
+		}
+	case BLT:
+		if int32(r[i.Ra]) < int32(r[i.Rb]) {
+			next = i.Imm
+		}
+	case BGE:
+		if int32(r[i.Ra]) >= int32(r[i.Rb]) {
+			next = i.Imm
+		}
+	case BLTU:
+		if r[i.Ra] < r[i.Rb] {
+			next = i.Imm
+		}
+	case BGEU:
+		if r[i.Ra] >= r[i.Rb] {
+			next = i.Imm
+		}
+	case JMP:
+		next = i.Imm
+	case JAL:
+		r[i.Rd] = c.pc + InstBytes
+		next = i.Imm
+	case JR:
+		next = r[i.Ra]
+	case LDR:
+		c.mu.Begin(cache.OpLoad, r[i.Ra]+i.Imm, 0)
+		c.state = sMem
+		return
+	case STR:
+		c.mu.Begin(cache.OpStore, r[i.Ra]+i.Imm, r[i.Rd])
+		c.state = sMem
+		return
+	}
+	c.retire(next)
+}
+
+// retire commits the instruction and starts the next fetch immediately.
+func (c *Core) retire(next uint32) {
+	c.InstRet++
+	c.pc = next
+	c.mu.Begin(cache.OpFetch, c.pc, 0)
+	c.state = sFetch0
+}
+
+func (c *Core) fault(cycle uint64) {
+	c.halted = true
+	c.faulted = true
+	c.haltCycle = cycle
+}
+
+var _ sim.Device = (*Core)(nil)

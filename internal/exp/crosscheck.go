@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"noctg/internal/core"
+	"noctg/internal/platform"
+	"noctg/internal/prog"
+)
+
+// CrossCheckResult is the Section 6 validation experiment: the same
+// application traced on two different interconnects must translate to
+// byte-identical TG programs ("a check across .tgp programs showed no
+// difference at all").
+type CrossCheckResult struct {
+	Bench      string
+	Cores      int
+	MakespanA  uint64 // AMBA reference cycles
+	MakespanX  uint64 // ×pipes reference cycles
+	Equal      bool
+	FirstDiff  string // human-readable location of the first difference
+	ProgramLen int    // instructions per program set (sanity metric)
+}
+
+// CrossCheck runs spec on AMBA and on the ×pipes NoC, translates both trace
+// sets, and compares the canonical .tgp texts.
+func CrossCheck(spec *prog.Spec, opt Options) (*CrossCheckResult, error) {
+	run := func(ic platform.Interconnect) (uint64, string, int, error) {
+		o := opt
+		o.Platform.Interconnect = ic
+		ref, err := RunReference(spec, o, true)
+		if err != nil {
+			return 0, "", 0, err
+		}
+		progs, _, _, err := TranslateAll(spec, ref.Traces,
+			core.DefaultTranslateConfig(PollRangesFor(spec)))
+		if err != nil {
+			return 0, "", 0, err
+		}
+		text, err := FormatTGP(progs)
+		if err != nil {
+			return 0, "", 0, err
+		}
+		n := 0
+		for _, p := range progs {
+			n += len(p.Insts)
+		}
+		return ref.Makespan, text, n, nil
+	}
+	mkA, textA, nA, err := run(platform.AMBA)
+	if err != nil {
+		return nil, fmt.Errorf("exp: crosscheck %s on AMBA: %w", spec.Name, err)
+	}
+	mkX, textX, _, err := run(platform.XPipes)
+	if err != nil {
+		return nil, fmt.Errorf("exp: crosscheck %s on xpipes: %w", spec.Name, err)
+	}
+	res := &CrossCheckResult{
+		Bench:      spec.Name,
+		Cores:      spec.Cores,
+		MakespanA:  mkA,
+		MakespanX:  mkX,
+		Equal:      textA == textX,
+		ProgramLen: nA,
+	}
+	if !res.Equal {
+		res.FirstDiff = firstDiff(textA, textX)
+	}
+	return res, nil
+}
+
+// firstDiff locates the first differing line of two texts.
+func firstDiff(a, b string) string {
+	la := strings.Split(a, "\n")
+	lb := strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d lines", len(la), len(lb))
+}
+
+// OverheadResult reproduces the paper's trace-collection cost experiment
+// (plain 128 s vs traced 147 s vs 145 s translation of a 20 MB trace).
+type OverheadResult struct {
+	Bench         string
+	Cores         int
+	PlainWall     time.Duration
+	TracedWall    time.Duration
+	TranslateWall time.Duration
+	TraceBytes    int
+	Events        int
+}
+
+// MeasureOverhead times the plain run, the traced run, and translation.
+func MeasureOverhead(spec *prog.Spec, opt Options) (*OverheadResult, error) {
+	row, err := MeasureRow(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &OverheadResult{
+		Bench:         spec.Name,
+		Cores:         spec.Cores,
+		PlainWall:     row.WallARM,
+		TracedWall:    row.TracedWall,
+		TranslateWall: row.TranslateWall,
+		TraceBytes:    row.TraceBytes,
+	}, nil
+}

@@ -1,0 +1,167 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Section 6) on the Go platform —
+// Table 2 (accuracy and speedup per benchmark and core count), the
+// cross-interconnect .tgp equality check, the trace-collection overhead
+// measurement, and the baseline/design ablations. EXPERIMENTS.md records
+// the outputs against the paper's numbers.
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"noctg/internal/cache"
+	"noctg/internal/core"
+	"noctg/internal/layout"
+	"noctg/internal/ocp"
+	"noctg/internal/platform"
+	"noctg/internal/prog"
+	"noctg/internal/trace"
+)
+
+// Options selects the platform variant under test.
+type Options struct {
+	// Platform is the interconnect/bus/NoC configuration. Cores is filled
+	// from the spec.
+	Platform platform.Config
+	// ICache and DCache configure the processor caches.
+	ICache, DCache cache.Config
+}
+
+// DefaultOptions returns the reference AMBA platform configuration.
+func DefaultOptions() Options {
+	return Options{
+		ICache: cache.Config{Lines: 64, WordsPerLine: 4},
+		DCache: cache.Config{Lines: 64, WordsPerLine: 4},
+	}
+}
+
+// RefResult is the outcome of a reference (ARM) simulation.
+type RefResult struct {
+	Sys      *platform.System
+	Makespan uint64
+	Wall     time.Duration
+	Traces   []*trace.Trace
+}
+
+// RunReference executes the spec on bit/cycle-true miniARM cores. With
+// traced set, OCP monitors collect a trace per master (the paper's
+// reference simulation).
+func RunReference(spec *prog.Spec, opt Options, traced bool) (*RefResult, error) {
+	progs, err := spec.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	cfg := opt.Platform
+	cfg.Cores = spec.Cores
+	cfg.Trace = traced
+	sys, err := platform.BuildARM(cfg, progs, opt.ICache, opt.DCache)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	makespan, err := sys.Run(spec.MaxCycles)
+	wall := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("exp: reference %s: %w", spec.Name, err)
+	}
+	if spec.Validate != nil {
+		if verr := spec.Validate(sys.Peek, progs[0].Symbols); verr != nil {
+			return nil, fmt.Errorf("exp: reference %s functional check: %w", spec.Name, verr)
+		}
+	}
+	res := &RefResult{Sys: sys, Makespan: makespan, Wall: wall}
+	if traced {
+		for i, mon := range sys.Monitors {
+			res.Traces = append(res.Traces, trace.New(i, sys.Engine.Clock(), mon.Events()))
+		}
+	}
+	return res, nil
+}
+
+// PollRangesFor returns the translator's pollable ranges for a spec: the
+// hardware semaphore bank plus the spec's registered flag words, each with
+// the benchmark's known polling period.
+func PollRangesFor(spec *prog.Spec) []core.PollRange {
+	ranges := []core.PollRange{{Range: layout.SemRange(), Gap: prog.SemPollGap}}
+	for _, w := range spec.PollWords {
+		ranges = append(ranges, core.PollRange{
+			Range: ocp.AddrRange{Base: w, Size: 4},
+			Gap:   prog.FlagPollGap,
+		})
+	}
+	return ranges
+}
+
+// TranslateAll converts per-master traces into TG programs. It returns the
+// programs, aggregate stats, and the translation wall time (the paper's
+// "parsing and elaboration" cost).
+func TranslateAll(spec *prog.Spec, traces []*trace.Trace, cfg core.TranslateConfig) ([]*core.Program, core.TranslateStats, time.Duration, error) {
+	var agg core.TranslateStats
+	progs := make([]*core.Program, len(traces))
+	start := time.Now()
+	for i, tr := range traces {
+		p, stats, err := core.Translate(tr, cfg)
+		if err != nil {
+			return nil, agg, 0, fmt.Errorf("exp: translate master %d: %w", i, err)
+		}
+		progs[i] = p
+		agg.Events += stats.Events
+		agg.PollLoops += stats.PollLoops
+		agg.PollReadsCollapsed += stats.PollReadsCollapsed
+		agg.ClampedCycles += stats.ClampedCycles
+	}
+	return progs, agg, time.Since(start), nil
+}
+
+// TGResult is the outcome of a TG-platform simulation.
+type TGResult struct {
+	Sys      *platform.System
+	Makespan uint64
+	Wall     time.Duration
+}
+
+// RunTG executes translated programs on the TG platform (Figure 1(b)).
+func RunTG(spec *prog.Spec, programs []*core.Program, opt Options) (*TGResult, error) {
+	cfg := opt.Platform
+	cfg.Cores = spec.Cores
+	sys, err := platform.BuildTG(cfg, programs)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	makespan, err := sys.Run(spec.MaxCycles)
+	wall := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("exp: TG %s: %w", spec.Name, err)
+	}
+	return &TGResult{Sys: sys, Makespan: makespan, Wall: wall}, nil
+}
+
+// FormatTGP renders all programs as concatenated canonical .tgp text (used
+// for the cross-interconnect equality check).
+func FormatTGP(programs []*core.Program) (string, error) {
+	var buf bytes.Buffer
+	for _, p := range programs {
+		if err := p.Format(&buf); err != nil {
+			return "", err
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.String(), nil
+}
+
+// TraceBytes returns the serialised .trc size of all traces (the paper's
+// "20 MB trace file" metric).
+func TraceBytes(traces []*trace.Trace) (int, error) {
+	var total int
+	for _, tr := range traces {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return 0, err
+		}
+		total += buf.Len()
+	}
+	return total, nil
+}

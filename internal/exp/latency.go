@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"noctg/internal/core"
+	"noctg/internal/platform"
+	"noctg/internal/prog"
+	"noctg/internal/sim"
+	"noctg/internal/trace"
+)
+
+// LatencyProfile summarises per-transaction read latencies (response cycle
+// minus acceptance cycle) observed at the master OCP interfaces — a
+// finer-grained fidelity metric than the makespan: the TG platform should
+// reproduce not just the run length but the distribution of interconnect
+// service times the traffic experiences.
+type LatencyProfile struct {
+	Reads uint64
+	Mean  float64
+	Max   uint64
+	Hist  *sim.Histogram
+}
+
+func profileTraces(traces []*trace.Trace) *LatencyProfile {
+	p := &LatencyProfile{Hist: sim.NewHistogram(4, 8, 16, 32, 64, 128, 256)}
+	for _, tr := range traces {
+		for i := range tr.Events {
+			e := &tr.Events[i]
+			if !e.HasResp {
+				continue
+			}
+			p.Hist.Observe(e.Resp - e.Accept)
+		}
+	}
+	p.Reads = p.Hist.Count()
+	p.Mean = p.Hist.Mean()
+	p.Max = p.Hist.Max()
+	return p
+}
+
+// LatencyComparison runs the spec on cycle-true cores and on TGs (both
+// traced) and returns the two read-latency profiles.
+func LatencyComparison(spec *prog.Spec, opt Options) (arm, tg *LatencyProfile, err error) {
+	ref, err := RunReference(spec, opt, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	progs, _, _, err := TranslateAll(spec, ref.Traces,
+		core.DefaultTranslateConfig(PollRangesFor(spec)))
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := opt.Platform
+	cfg.Cores = spec.Cores
+	cfg.Trace = true // monitor the TG ports too
+	sys, err := platform.BuildTG(cfg, progs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := sys.Run(spec.MaxCycles); err != nil {
+		return nil, nil, err
+	}
+	var tgTraces []*trace.Trace
+	for i, mon := range sys.Monitors {
+		tgTraces = append(tgTraces, trace.New(i, sys.Engine.Clock(), mon.Events()))
+	}
+	return profileTraces(ref.Traces), profileTraces(tgTraces), nil
+}
+
+// MeanErrorPct returns the relative difference of the two profile means.
+func MeanErrorPct(arm, tg *LatencyProfile) float64 {
+	if arm.Mean == 0 {
+		return 0
+	}
+	return 100 * math.Abs(tg.Mean-arm.Mean) / arm.Mean
+}
+
+// FormatLatency renders a profile for reports.
+func (p *LatencyProfile) String() string {
+	return fmt.Sprintf("%d reads, mean %.2f cycles, max %d", p.Reads, p.Mean, p.Max)
+}

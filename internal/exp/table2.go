@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"noctg/internal/core"
+	"noctg/internal/prog"
+)
+
+// Row is one Table 2 line: simulated-cycle accuracy and host-time speedup
+// of the TG platform versus the ARM platform.
+type Row struct {
+	Bench     string
+	Cores     int
+	CyclesARM uint64
+	CyclesTG  uint64
+	ErrorPct  float64
+	WallARM   time.Duration
+	WallTG    time.Duration
+	Gain      float64
+	// TracedWall is the reference run with tracing enabled (overhead exp).
+	TracedWall time.Duration
+	// TranslateWall is the trace→program conversion time.
+	TranslateWall time.Duration
+	// TraceBytes is the total serialised trace size.
+	TraceBytes int
+}
+
+// MeasureRow produces one Table 2 row for a spec:
+//
+//  1. plain reference run (ARM wall time and cycle count),
+//  2. traced reference run (trace collection + overhead metrics),
+//  3. translation, and
+//  4. TG run (TG wall time and cycle count).
+func MeasureRow(spec *prog.Spec, opt Options) (*Row, error) {
+	plain, err := RunReference(spec, opt, false)
+	if err != nil {
+		return nil, err
+	}
+	traced, err := RunReference(spec, opt, true)
+	if err != nil {
+		return nil, err
+	}
+	progs, _, twall, err := TranslateAll(spec, traced.Traces,
+		core.DefaultTranslateConfig(PollRangesFor(spec)))
+	if err != nil {
+		return nil, err
+	}
+	tg, err := RunTG(spec, progs, opt)
+	if err != nil {
+		return nil, err
+	}
+	tbytes, err := TraceBytes(traced.Traces)
+	if err != nil {
+		return nil, err
+	}
+	row := &Row{
+		Bench:         spec.Name,
+		Cores:         spec.Cores,
+		CyclesARM:     plain.Makespan,
+		CyclesTG:      tg.Makespan,
+		ErrorPct:      100 * math.Abs(float64(tg.Makespan)-float64(plain.Makespan)) / float64(plain.Makespan),
+		WallARM:       plain.Wall,
+		WallTG:        tg.Wall,
+		TracedWall:    traced.Wall,
+		TranslateWall: twall,
+		TraceBytes:    tbytes,
+	}
+	if tg.Wall > 0 {
+		row.Gain = float64(plain.Wall) / float64(tg.Wall)
+	}
+	return row, nil
+}
+
+// Sizes parameterises the Table 2 benchmark set. The defaults give
+// makespans in the hundreds of thousands of cycles — smaller than the
+// paper's multi-million-cycle runs but in the same contention regimes.
+type Sizes struct {
+	SPMatrixN      int
+	CacheloopIters int
+	MPMatrixN      int
+	DESBlocks      int
+	CacheloopCores []int
+	MPMatrixCores  []int
+	DESCores       []int
+}
+
+// DefaultSizes mirrors the paper's sweep (2–12 processors; DES from 3).
+func DefaultSizes() Sizes {
+	return Sizes{
+		SPMatrixN:      24,
+		CacheloopIters: 30_000,
+		MPMatrixN:      16,
+		DESBlocks:      16,
+		CacheloopCores: []int{2, 4, 6, 8, 10, 12},
+		MPMatrixCores:  []int{2, 4, 6, 8, 10, 12},
+		DESCores:       []int{3, 4, 6, 8, 10, 12},
+	}
+}
+
+// QuickSizes is a fast variant for tests and smoke runs.
+func QuickSizes() Sizes {
+	return Sizes{
+		SPMatrixN:      8,
+		CacheloopIters: 2_000,
+		MPMatrixN:      8,
+		DESBlocks:      2,
+		CacheloopCores: []int{2, 4},
+		MPMatrixCores:  []int{2, 4},
+		DESCores:       []int{3},
+	}
+}
+
+// Specs expands the sizes into the full benchmark list, in Table 2 order.
+func (s Sizes) Specs() []*prog.Spec {
+	specs := []*prog.Spec{prog.SPMatrix(s.SPMatrixN)}
+	for _, p := range s.CacheloopCores {
+		specs = append(specs, prog.Cacheloop(p, s.CacheloopIters))
+	}
+	for _, p := range s.MPMatrixCores {
+		specs = append(specs, prog.MPMatrix(p, s.MPMatrixN))
+	}
+	for _, p := range s.DESCores {
+		specs = append(specs, prog.DES(p, s.DESBlocks))
+	}
+	return specs
+}
+
+// Table2 measures every row.
+func Table2(sizes Sizes, opt Options) ([]*Row, error) {
+	var rows []*Row
+	for _, spec := range sizes.Specs() {
+		row, err := MeasureRow(spec, opt)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s/%dP: %w", spec.Name, spec.Cores, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders rows in the paper's Table 2 layout.
+func FormatTable2(rows []*Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %4s | %12s %12s %7s | %10s %10s %6s\n",
+		"benchmark", "#IPs", "cycles ARM", "cycles TG", "error", "time ARM", "time TG", "gain")
+	fmt.Fprintln(&b, strings.Repeat("-", 88))
+	last := ""
+	for _, r := range rows {
+		name := r.Bench
+		if name == last {
+			name = ""
+		} else {
+			last = r.Bench
+		}
+		fmt.Fprintf(&b, "%-10s %3dP | %12d %12d %6.2f%% | %10s %10s %5.2fx\n",
+			name, r.Cores, r.CyclesARM, r.CyclesTG, r.ErrorPct,
+			r.WallARM.Round(time.Millisecond), r.WallTG.Round(time.Millisecond), r.Gain)
+	}
+	return b.String()
+}

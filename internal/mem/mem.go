@@ -1,0 +1,111 @@
+// Package mem provides the system slaves of the MPARM-like platform:
+// word-addressed RAM (used for both private and shared memories) and the
+// hardware test-and-set semaphore bank that drives the paper's reactive
+// polling scenarios (Figure 2(b), Figure 3).
+package mem
+
+import (
+	"fmt"
+
+	"noctg/internal/ocp"
+)
+
+// RAM is a word-addressed memory slave with a configurable access time.
+// Private memories and the shared memory differ only in the address range
+// the platform maps them at and in cacheability.
+type RAM struct {
+	base  uint32
+	words []uint32
+	// waitStates is the intrinsic per-access service time in cycles
+	// (the paper's "slave access time"). Bursts pay it once per beat.
+	waitStates uint64
+	name       string
+}
+
+// NewRAM builds a RAM of size bytes mapped at base. Size and base must be
+// word aligned.
+func NewRAM(name string, base, size uint32, waitStates uint64) *RAM {
+	if base%4 != 0 || size%4 != 0 || size == 0 {
+		panic(fmt.Sprintf("mem: RAM %s base/size must be word aligned and non-zero", name))
+	}
+	return &RAM{base: base, words: make([]uint32, size/4), waitStates: waitStates, name: name}
+}
+
+// Name returns the memory's diagnostic name.
+func (r *RAM) Name() string { return r.name }
+
+// Range returns the address range the RAM occupies.
+func (r *RAM) Range() ocp.AddrRange {
+	return ocp.AddrRange{Base: r.base, Size: uint32(len(r.words) * 4)}
+}
+
+// AccessCycles implements ocp.Slave.
+func (r *RAM) AccessCycles(req *ocp.Request) uint64 {
+	return r.waitStates * uint64(req.Burst)
+}
+
+// Perform implements ocp.Slave.
+func (r *RAM) Perform(req *ocp.Request) ocp.Response {
+	idx, ok := r.index(req.Addr)
+	if !ok || idx+req.Burst > len(r.words) {
+		return ocp.Response{Err: true}
+	}
+	switch {
+	case req.Cmd.IsRead():
+		data := make([]uint32, req.Burst)
+		copy(data, r.words[idx:idx+req.Burst])
+		return ocp.Response{Data: data}
+	case req.Cmd.IsWrite():
+		copy(r.words[idx:idx+req.Burst], req.Data)
+		return ocp.Response{}
+	}
+	return ocp.Response{Err: true}
+}
+
+// PeekWord reads a word directly, bypassing timing — used by program
+// loaders, test assertions and functional validation only.
+func (r *RAM) PeekWord(addr uint32) uint32 {
+	idx, ok := r.index(addr)
+	if !ok {
+		panic(fmt.Sprintf("mem: PeekWord %#08x outside %s %v", addr, r.name, r.Range()))
+	}
+	return r.words[idx]
+}
+
+// PokeWord writes a word directly, bypassing timing.
+func (r *RAM) PokeWord(addr uint32, v uint32) {
+	idx, ok := r.index(addr)
+	if !ok {
+		panic(fmt.Sprintf("mem: PokeWord %#08x outside %s %v", addr, r.name, r.Range()))
+	}
+	r.words[idx] = v
+}
+
+// LoadWords copies words into memory starting at addr (loader path).
+func (r *RAM) LoadWords(addr uint32, words []uint32) {
+	idx, ok := r.index(addr)
+	if !ok || idx+len(words) > len(r.words) {
+		panic(fmt.Sprintf("mem: LoadWords %#08x+%d outside %s %v", addr, len(words), r.name, r.Range()))
+	}
+	copy(r.words[idx:], words)
+}
+
+// Clear zeroes the whole memory.
+func (r *RAM) Clear() {
+	for i := range r.words {
+		r.words[i] = 0
+	}
+}
+
+func (r *RAM) index(addr uint32) (int, bool) {
+	if addr < r.base || addr%4 != 0 {
+		return 0, false
+	}
+	idx := int((addr - r.base) / 4)
+	if idx >= len(r.words) {
+		return 0, false
+	}
+	return idx, true
+}
+
+var _ ocp.Slave = (*RAM)(nil)

@@ -1,0 +1,196 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"noctg/internal/ocp"
+)
+
+func TestRAMReadWrite(t *testing.T) {
+	r := NewRAM("priv", 0x1000, 64, 1)
+	resp := r.Perform(&ocp.Request{Cmd: ocp.Write, Addr: 0x1004, Burst: 1, Data: []uint32{0xdeadbeef}})
+	if resp.Err {
+		t.Fatal("write failed")
+	}
+	resp = r.Perform(&ocp.Request{Cmd: ocp.Read, Addr: 0x1004, Burst: 1})
+	if resp.Err || resp.Data[0] != 0xdeadbeef {
+		t.Fatalf("read back %#x", resp.Data)
+	}
+}
+
+func TestRAMBurst(t *testing.T) {
+	r := NewRAM("priv", 0, 64, 1)
+	payload := []uint32{1, 2, 3, 4}
+	if resp := r.Perform(&ocp.Request{Cmd: ocp.BurstWrite, Addr: 8, Burst: 4, Data: payload}); resp.Err {
+		t.Fatal("burst write failed")
+	}
+	resp := r.Perform(&ocp.Request{Cmd: ocp.BurstRead, Addr: 8, Burst: 4})
+	if resp.Err {
+		t.Fatal("burst read failed")
+	}
+	for i, v := range payload {
+		if resp.Data[i] != v {
+			t.Fatalf("beat %d = %#x, want %#x", i, resp.Data[i], v)
+		}
+	}
+}
+
+func TestRAMOutOfRange(t *testing.T) {
+	r := NewRAM("priv", 0x1000, 16, 0)
+	if resp := r.Perform(&ocp.Request{Cmd: ocp.Read, Addr: 0x0ffc, Burst: 1}); !resp.Err {
+		t.Fatal("below-base read should fail")
+	}
+	if resp := r.Perform(&ocp.Request{Cmd: ocp.Read, Addr: 0x1010, Burst: 1}); !resp.Err {
+		t.Fatal("past-end read should fail")
+	}
+	// Burst straddling the end must fail, not partially succeed.
+	if resp := r.Perform(&ocp.Request{Cmd: ocp.BurstRead, Addr: 0x100c, Burst: 4}); !resp.Err {
+		t.Fatal("straddling burst should fail")
+	}
+}
+
+func TestRAMAccessCyclesScaleWithBurst(t *testing.T) {
+	r := NewRAM("priv", 0, 64, 3)
+	if got := r.AccessCycles(&ocp.Request{Cmd: ocp.Read, Burst: 1}); got != 3 {
+		t.Fatalf("single access = %d, want 3", got)
+	}
+	if got := r.AccessCycles(&ocp.Request{Cmd: ocp.BurstRead, Burst: 4}); got != 12 {
+		t.Fatalf("burst access = %d, want 12", got)
+	}
+}
+
+func TestRAMPeekPokeLoad(t *testing.T) {
+	r := NewRAM("priv", 0x100, 32, 0)
+	r.PokeWord(0x104, 42)
+	if r.PeekWord(0x104) != 42 {
+		t.Fatal("peek/poke mismatch")
+	}
+	r.LoadWords(0x108, []uint32{7, 8})
+	if r.PeekWord(0x108) != 7 || r.PeekWord(0x10c) != 8 {
+		t.Fatal("LoadWords mismatch")
+	}
+	r.Clear()
+	if r.PeekWord(0x104) != 0 {
+		t.Fatal("Clear did not zero")
+	}
+}
+
+func TestRAMRange(t *testing.T) {
+	r := NewRAM("x", 0x2000, 0x100, 0)
+	want := ocp.AddrRange{Base: 0x2000, Size: 0x100}
+	if r.Range() != want {
+		t.Fatalf("Range = %v, want %v", r.Range(), want)
+	}
+	if r.Name() != "x" {
+		t.Fatal("name")
+	}
+}
+
+func TestRAMRandomAccessProperty(t *testing.T) {
+	// RAM behaves as a map from word index to last written value.
+	r := NewRAM("p", 0, 1024, 0)
+	model := make(map[uint32]uint32)
+	f := func(idx uint8, val uint32, write bool) bool {
+		addr := uint32(idx) * 4
+		if write {
+			r.Perform(&ocp.Request{Cmd: ocp.Write, Addr: addr, Burst: 1, Data: []uint32{val}})
+			model[addr] = val
+			return true
+		}
+		resp := r.Perform(&ocp.Request{Cmd: ocp.Read, Addr: addr, Burst: 1})
+		return !resp.Err && resp.Data[0] == model[addr]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemBankTestAndSet(t *testing.T) {
+	s := NewSemBank("sem", 0x9000, 4, 1)
+	addr := s.Addr(1)
+
+	// First read of a free semaphore returns 1 and locks it.
+	resp := s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: addr, Burst: 1})
+	if resp.Err || resp.Data[0] != 1 {
+		t.Fatalf("first read = %v, want 1", resp.Data)
+	}
+	if s.Free(1) {
+		t.Fatal("semaphore should now be held")
+	}
+	// Subsequent reads fail with 0.
+	for i := 0; i < 3; i++ {
+		resp = s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: addr, Burst: 1})
+		if resp.Data[0] != 0 {
+			t.Fatalf("poll %d = %v, want 0", i, resp.Data)
+		}
+	}
+	// Unlock with WR 1, then it can be taken again.
+	s.Perform(&ocp.Request{Cmd: ocp.Write, Addr: addr, Burst: 1, Data: []uint32{1}})
+	if !s.Free(1) {
+		t.Fatal("write 1 should unlock")
+	}
+	resp = s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: addr, Burst: 1})
+	if resp.Data[0] != 1 {
+		t.Fatal("re-acquire after unlock failed")
+	}
+	acq, fails, rel := s.Stats()
+	if acq != 2 || fails != 3 || rel != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 2/3/1", acq, fails, rel)
+	}
+}
+
+func TestSemBankIndependentSemaphores(t *testing.T) {
+	s := NewSemBank("sem", 0, 8, 0)
+	s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: s.Addr(2), Burst: 1})
+	if !s.Free(3) || s.Free(2) {
+		t.Fatal("acquiring one semaphore must not affect others")
+	}
+}
+
+func TestSemBankWriteZeroLocks(t *testing.T) {
+	s := NewSemBank("sem", 0, 1, 0)
+	s.Perform(&ocp.Request{Cmd: ocp.Write, Addr: 0, Burst: 1, Data: []uint32{0}})
+	if s.Free(0) {
+		t.Fatal("write 0 should lock")
+	}
+}
+
+func TestSemBankRejectsBurstsAndBadAddr(t *testing.T) {
+	s := NewSemBank("sem", 0x9000, 2, 0)
+	if resp := s.Perform(&ocp.Request{Cmd: ocp.BurstRead, Addr: 0x9000, Burst: 2}); !resp.Err {
+		t.Fatal("burst to semaphore bank should fail")
+	}
+	if resp := s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: 0x9010, Burst: 1}); !resp.Err {
+		t.Fatal("out-of-range semaphore read should fail")
+	}
+}
+
+func TestSemBankMutualExclusionProperty(t *testing.T) {
+	// However reads and writes interleave, at most one "holder" exists per
+	// semaphore: successful acquires (read→1) strictly alternate with
+	// releases for each word.
+	f := func(ops []bool) bool {
+		s := NewSemBank("sem", 0, 1, 0)
+		held := false
+		for _, acquire := range ops {
+			if acquire {
+				resp := s.Perform(&ocp.Request{Cmd: ocp.Read, Addr: 0, Burst: 1})
+				got := resp.Data[0] == 1
+				if got && held {
+					return false // double acquire
+				}
+				if got {
+					held = true
+				}
+			} else {
+				s.Perform(&ocp.Request{Cmd: ocp.Write, Addr: 0, Burst: 1, Data: []uint32{1}})
+				held = false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

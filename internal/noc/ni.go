@@ -1,0 +1,201 @@
+package noc
+
+import (
+	"fmt"
+
+	"noctg/internal/ocp"
+)
+
+type masterNIState int
+
+const (
+	niIdle masterNIState = iota
+	niInjecting
+	niInjected
+)
+
+// masterNI packetises OCP transactions from one master and reassembles the
+// responses. It implements ocp.MasterPort. A request is "accepted" once its
+// tail flit has entered the local router — so acceptance latency reflects
+// local congestion, as on a real NI.
+type masterNI struct {
+	net  *Network
+	node int
+
+	state    masterNIState
+	req      ocp.Request
+	pkt      *packet
+	nextFlit int
+
+	busyRead bool
+	resp     ocp.Response
+	respAt   uint64
+	hasResp  bool
+	rxBuf    []flit
+}
+
+// TryRequest implements ocp.MasterPort.
+func (m *masterNI) TryRequest(req *ocp.Request) bool {
+	switch m.state {
+	case niIdle:
+		if m.busyRead {
+			return false
+		}
+		if err := req.Validate(); err != nil {
+			panic(fmt.Sprintf("noc: master at node %d issued invalid request: %v", m.node, err))
+		}
+		m.req = *req
+		dst := m.net.decode(req.Addr)
+		if dst == nil {
+			// No slave: synthesise an error response locally.
+			m.state = niInjected
+			m.net.Counters.Inc("decode_errors")
+			if req.Cmd.IsRead() {
+				m.resp = ocp.Response{Err: true}
+				m.respAt = m.net.now() + m.net.cfg.RespCycles
+				m.hasResp = true
+			}
+			return false
+		}
+		m.pkt = &packet{src: m.node, dst: dst.node, req: m.req, length: reqFlits(&m.req)}
+		m.nextFlit = 0
+		m.state = niInjecting
+		return false
+	case niInjecting:
+		return false
+	case niInjected:
+		m.state = niIdle
+		if m.req.Cmd.IsRead() {
+			m.busyRead = true
+		}
+		return true
+	}
+	return false
+}
+
+// TakeResponse implements ocp.MasterPort.
+func (m *masterNI) TakeResponse() (*ocp.Response, bool) {
+	if !m.hasResp || m.net.now() < m.respAt {
+		return nil, false
+	}
+	m.hasResp = false
+	m.busyRead = false
+	resp := m.resp
+	return &resp, true
+}
+
+// Busy implements ocp.MasterPort.
+func (m *masterNI) Busy() bool { return m.busyRead || m.state != niIdle }
+
+// tick injects up to one flit of the pending request packet per cycle.
+func (m *masterNI) tick(cycle uint64) {
+	if m.state != niInjecting {
+		return
+	}
+	r := m.net.routers[m.node]
+	q := &r.in[portL][vcReq]
+	if q.len() >= m.net.cfg.BufferFlits {
+		return
+	}
+	q.push(flit{pkt: m.pkt, idx: m.nextFlit, arrived: cycle})
+	m.nextFlit++
+	if m.nextFlit == m.pkt.length {
+		m.state = niInjected
+	}
+}
+
+// acceptFlit implements localSink (response delivery).
+func (m *masterNI) acceptFlit(fl flit, cycle uint64) {
+	if !fl.pkt.isResp {
+		panic(fmt.Sprintf("noc: master NI at node %d received a request packet", m.node))
+	}
+	m.rxBuf = append(m.rxBuf, fl)
+	if fl.tail() {
+		m.resp = fl.pkt.resp
+		m.respAt = cycle + m.net.cfg.RespCycles
+		m.hasResp = true
+		m.rxBuf = m.rxBuf[:0]
+	}
+}
+
+func (m *masterNI) idle() bool {
+	return m.state == niIdle && !m.busyRead && !m.hasResp && len(m.rxBuf) == 0
+}
+
+var _ ocp.MasterPort = (*masterNI)(nil)
+var _ localSink = (*masterNI)(nil)
+
+// slaveNI terminates request packets at a slave, applies the access after
+// the slave's intrinsic latency, and returns response packets for reads.
+// Requests from different masters are served one at a time, in arrival
+// order, like a single-ported memory controller.
+type slaveNI struct {
+	net   *Network
+	node  int
+	slave ocp.Slave
+	rng   ocp.AddrRange
+
+	queue   []*packet // fully received, waiting for service
+	current *packet
+	doneAt  uint64
+
+	out      *packet
+	nextFlit int
+}
+
+// acceptFlit implements localSink (request delivery).
+func (s *slaveNI) acceptFlit(fl flit, cycle uint64) {
+	if fl.pkt.isResp {
+		panic(fmt.Sprintf("noc: slave NI at node %d received a response packet", s.node))
+	}
+	if fl.tail() {
+		s.queue = append(s.queue, fl.pkt)
+	}
+}
+
+func (s *slaveNI) tick(cycle uint64) {
+	// Drain the outgoing response packet first: one flit per cycle.
+	if s.out != nil {
+		r := s.net.routers[s.node]
+		q := &r.in[portL][vcResp]
+		if q.len() < s.net.cfg.BufferFlits {
+			q.push(flit{pkt: s.out, idx: s.nextFlit, arrived: cycle})
+			s.nextFlit++
+			if s.nextFlit == s.out.length {
+				s.out = nil
+			}
+		}
+		return
+	}
+	if s.current != nil {
+		if cycle < s.doneAt {
+			return
+		}
+		resp := s.slave.Perform(&s.current.req)
+		if resp.Err {
+			s.net.Counters.Inc("slave_errors")
+		}
+		if s.current.req.Cmd.IsRead() {
+			s.out = &packet{
+				src:    s.node,
+				dst:    s.current.src,
+				isResp: true,
+				resp:   resp,
+				length: respFlits(&s.current.req),
+			}
+			s.nextFlit = 0
+		}
+		s.current = nil
+	}
+	if s.current == nil && len(s.queue) > 0 {
+		s.current = s.queue[0]
+		s.queue = s.queue[1:]
+		s.doneAt = cycle + 1 + s.slave.AccessCycles(&s.current.req)
+	}
+}
+
+func (s *slaveNI) idle() bool {
+	return s.current == nil && s.out == nil && len(s.queue) == 0
+}
+
+var _ localSink = (*slaveNI)(nil)

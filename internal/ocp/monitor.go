@@ -1,0 +1,113 @@
+package ocp
+
+// Event is one traced OCP transaction as observed at a master interface.
+// The three timestamps are what the translator needs to compute
+// interconnect-independent idle gaps (see DESIGN.md §5):
+//
+//   - Assert: the first cycle the master presented the request,
+//   - Accept: the cycle the interconnect latched it (posted writes complete
+//     here from the master's point of view),
+//   - Resp:   the cycle read data returned (reads only).
+type Event struct {
+	Cmd      Cmd
+	Addr     uint32
+	Burst    int
+	Data     []uint32 // write payload or read response data
+	MasterID int
+	Assert   uint64
+	Accept   uint64
+	Resp     uint64 // zero for writes
+	HasResp  bool
+}
+
+// Done returns the completion cycle from the master's perspective: response
+// arrival for reads, acceptance for posted writes.
+func (e *Event) Done() uint64 {
+	if e.HasResp {
+		return e.Resp
+	}
+	return e.Accept
+}
+
+// Monitor wraps a MasterPort and records every transaction flowing through
+// it. It is the in-simulation equivalent of the paper's adapted OCP
+// interface modules that "collect traces of OCP request and response
+// communication events".
+//
+// The wrapped port sees exactly the same call sequence, so enabling tracing
+// does not perturb simulated timing (it does cost host time, which is the
+// paper's §6 trace-collection overhead experiment).
+type Monitor struct {
+	port   MasterPort
+	now    func() uint64
+	events []Event
+
+	cur       Event
+	asserting bool // a request has been presented but not yet accepted
+	awaiting  bool // an accepted read is awaiting its response
+}
+
+// NewMonitor wraps port, reading the current cycle from now.
+func NewMonitor(port MasterPort, now func() uint64) *Monitor {
+	if port == nil || now == nil {
+		panic("ocp: NewMonitor requires a port and a clock source")
+	}
+	return &Monitor{port: port, now: now}
+}
+
+// TryRequest implements MasterPort, recording assert and accept cycles.
+func (m *Monitor) TryRequest(req *Request) bool {
+	if !m.asserting {
+		m.cur = Event{
+			Cmd:      req.Cmd,
+			Addr:     req.Addr,
+			Burst:    req.Burst,
+			MasterID: req.MasterID,
+			Assert:   m.now(),
+		}
+		if req.Cmd.IsWrite() {
+			m.cur.Data = append([]uint32(nil), req.Data...)
+		}
+		m.asserting = true
+	}
+	ok := m.port.TryRequest(req)
+	if ok {
+		m.cur.Accept = m.now()
+		m.asserting = false
+		if req.Cmd.IsRead() {
+			m.awaiting = true
+		} else {
+			m.events = append(m.events, m.cur)
+		}
+	}
+	return ok
+}
+
+// TakeResponse implements MasterPort, recording the response cycle and data.
+func (m *Monitor) TakeResponse() (*Response, bool) {
+	resp, ok := m.port.TakeResponse()
+	if ok && m.awaiting {
+		m.cur.Resp = m.now()
+		m.cur.HasResp = true
+		m.cur.Data = append([]uint32(nil), resp.Data...)
+		m.events = append(m.events, m.cur)
+		m.awaiting = false
+	}
+	return resp, ok
+}
+
+// Busy implements MasterPort.
+func (m *Monitor) Busy() bool { return m.port.Busy() }
+
+// Events returns the recorded transactions in issue order. The returned
+// slice is owned by the monitor; callers must not modify it.
+func (m *Monitor) Events() []Event { return m.events }
+
+// Reset discards all recorded events.
+func (m *Monitor) Reset() {
+	m.events = nil
+	m.asserting = false
+	m.awaiting = false
+}
+
+var _ MasterPort = (*Monitor)(nil)

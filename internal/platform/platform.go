@@ -1,0 +1,288 @@
+// Package platform assembles complete MPARM-like systems: N master devices
+// (miniARM cores, traffic generators, or baseline generators), an
+// interconnect (AMBA AHB-style bus or ×pipes-style NoC), per-core private
+// memories, the shared memory and the hardware semaphore bank.
+//
+// Masters are supplied through a factory so that processor models and TG
+// devices are interchangeable behind their OCP ports — the exchange depicted
+// in the paper's Figure 1.
+package platform
+
+import (
+	"fmt"
+
+	"noctg/internal/amba"
+	"noctg/internal/cache"
+	"noctg/internal/cpu"
+	"noctg/internal/layout"
+	"noctg/internal/mem"
+	"noctg/internal/noc"
+	"noctg/internal/ocp"
+	"noctg/internal/sim"
+)
+
+// Interconnect selects the fabric under evaluation.
+type Interconnect int
+
+const (
+	// AMBA is the shared-bus reference interconnect (Table 2).
+	AMBA Interconnect = iota
+	// XPipes is the packet-switched mesh NoC.
+	XPipes
+)
+
+func (i Interconnect) String() string {
+	switch i {
+	case AMBA:
+		return "amba"
+	case XPipes:
+		return "xpipes"
+	}
+	return fmt.Sprintf("Interconnect(%d)", int(i))
+}
+
+// Master is a device that drives an OCP master port and eventually finishes.
+type Master interface {
+	sim.Device
+	Done() bool
+}
+
+// MasterFactory builds master id over the given port. The system's memories
+// are already constructed when the factory runs (so program loaders may use
+// them); the port passed in is already wrapped by a trace monitor when
+// tracing is enabled.
+type MasterFactory func(s *System, id int, port ocp.MasterPort) Master
+
+// Config describes a platform instance.
+type Config struct {
+	// Cores is the number of master devices.
+	Cores int
+	// Interconnect picks the fabric (default AMBA).
+	Interconnect Interconnect
+	// Bus configures the AMBA fabric.
+	Bus amba.Config
+	// NoC configures the ×pipes fabric. Width×Height must fit
+	// Cores + Cores private memories + shared + semaphores; leave zero to
+	// auto-size.
+	NoC noc.Config
+	// MemWaitStates is the intrinsic slave access time (default 1).
+	MemWaitStates uint64
+	// Trace enables OCP monitors on every master port.
+	Trace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemWaitStates == 0 {
+		c.MemWaitStates = 1
+	}
+	return c
+}
+
+// idler is the draining interface both fabrics implement.
+type idler interface{ Idle() bool }
+
+// System is an assembled platform ready to run.
+type System struct {
+	Engine   *sim.Engine
+	Cfg      Config
+	Masters  []Master
+	Monitors []*ocp.Monitor // non-nil entries only when Cfg.Trace
+	Privs    []*mem.RAM
+	Shared   *mem.RAM
+	Sems     *mem.SemBank
+
+	Bus *amba.Bus    // set when Interconnect == AMBA
+	Net *noc.Network // set when Interconnect == XPipes
+
+	fabric idler
+}
+
+// Build assembles a system with Cores masters produced by factory.
+func Build(cfg Config, factory MasterFactory) (*System, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("platform: need at least one core, got %d", cfg.Cores)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("platform: nil master factory")
+	}
+	e := sim.NewEngine(sim.Clock{})
+	s := &System{Engine: e, Cfg: cfg}
+
+	s.Shared = mem.NewRAM("shared", layout.SharedBase, layout.SharedSize, cfg.MemWaitStates)
+	s.Sems = mem.NewSemBank("sem", layout.SemBase, layout.SemCount, cfg.MemWaitStates)
+	for i := 0; i < cfg.Cores; i++ {
+		s.Privs = append(s.Privs, mem.NewRAM(fmt.Sprintf("priv%d", i),
+			layout.PrivBaseFor(i), layout.PrivSize, cfg.MemWaitStates))
+	}
+
+	ports := make([]ocp.MasterPort, cfg.Cores)
+	switch cfg.Interconnect {
+	case AMBA:
+		bus := amba.New(cfg.Bus, e.Cycle)
+		for i := 0; i < cfg.Cores; i++ {
+			ports[i] = bus.NewMasterPort()
+		}
+		for i, p := range s.Privs {
+			if err := bus.MapSlave(p, layout.PrivRange(i)); err != nil {
+				return nil, err
+			}
+		}
+		if err := bus.MapSlave(s.Shared, layout.SharedRange()); err != nil {
+			return nil, err
+		}
+		if err := bus.MapSlave(s.Sems, layout.SemRange()); err != nil {
+			return nil, err
+		}
+		s.Bus = bus
+		s.fabric = bus
+	case XPipes:
+		ncfg := cfg.NoC
+		if ncfg.Width == 0 && ncfg.Height == 0 {
+			ncfg = autoMesh(cfg.Cores)
+		}
+		net := noc.New(ncfg, e.Cycle)
+		// Placement: masters fill nodes from the start, slaves from the end
+		// (private memory i sits opposite its core, shared/semaphores in
+		// between) — a plain but deterministic floorplan.
+		node := 0
+		for i := 0; i < cfg.Cores; i++ {
+			ports[i] = net.AttachMaster(node)
+			node++
+		}
+		last := net.Nodes() - 1
+		for i, p := range s.Privs {
+			if err := net.AttachSlave(last, p, layout.PrivRange(i)); err != nil {
+				return nil, err
+			}
+			last--
+		}
+		if err := net.AttachSlave(last, s.Shared, layout.SharedRange()); err != nil {
+			return nil, err
+		}
+		last--
+		if err := net.AttachSlave(last, s.Sems, layout.SemRange()); err != nil {
+			return nil, err
+		}
+		if last <= node {
+			return nil, fmt.Errorf("platform: mesh %dx%d too small for %d cores and %d slaves",
+				ncfg.Width, ncfg.Height, cfg.Cores, cfg.Cores+2)
+		}
+		s.Net = net
+		s.fabric = net
+	default:
+		return nil, fmt.Errorf("platform: unknown interconnect %v", cfg.Interconnect)
+	}
+
+	for i := 0; i < cfg.Cores; i++ {
+		port := ports[i]
+		var mon *ocp.Monitor
+		if cfg.Trace {
+			mon = ocp.NewMonitor(port, e.Cycle)
+			port = mon
+		}
+		s.Monitors = append(s.Monitors, mon)
+		m := factory(s, i, port)
+		s.Masters = append(s.Masters, m)
+		e.Add(m)
+	}
+	// Fabric ticks after all masters (see DESIGN.md tick order).
+	switch {
+	case s.Bus != nil:
+		e.Add(s.Bus)
+	case s.Net != nil:
+		e.Add(s.Net)
+	}
+	return s, nil
+}
+
+// autoMesh returns the smallest of the stock mesh sizes that fits
+// cores masters + cores+2 slaves.
+func autoMesh(cores int) noc.Config {
+	need := cores*2 + 2
+	for _, d := range []struct{ w, h int }{{3, 2}, {4, 2}, {4, 3}, {4, 4}, {5, 4}, {5, 5}, {6, 5}, {6, 6}} {
+		if d.w*d.h >= need+1 { // one spare node keeps masters/slaves apart
+			return noc.Config{Width: d.w, Height: d.h}
+		}
+	}
+	return noc.Config{Width: 7, Height: 6}
+}
+
+// Done reports whether every master has finished.
+func (s *System) Done() bool {
+	for _, m := range s.Masters {
+		if !m.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run simulates until all masters are done and the fabric has drained, or
+// maxCycles elapse. It returns the makespan in cycles — the paper's
+// "cumulative execution time" metric (total simulated cycles of the run).
+//
+// The completion predicate is evaluated every 32 cycles; the returned
+// makespan comes from the masters' halt cycles and is unaffected by the
+// detection stride.
+func (s *System) Run(maxCycles uint64) (uint64, error) {
+	_, err := s.Engine.RunEvery(maxCycles, 32, func() bool {
+		return s.Done() && s.fabric.Idle()
+	})
+	if err != nil {
+		return s.Engine.Cycle(), fmt.Errorf("platform(%s): %w", s.Cfg.Interconnect, err)
+	}
+	// Makespan = the latest master completion, not the drain tail.
+	var last uint64
+	for _, m := range s.Masters {
+		if h, ok := m.(interface{ HaltCycle() uint64 }); ok {
+			if c := h.HaltCycle(); c > last {
+				last = c
+			}
+		}
+	}
+	if last == 0 {
+		last = s.Engine.Cycle()
+	}
+	return last, nil
+}
+
+// Peek reads a word from whichever memory maps addr (test/validation hook).
+func (s *System) Peek(addr uint32) uint32 {
+	if layout.SharedRange().Contains(addr) {
+		return s.Shared.PeekWord(addr)
+	}
+	for i, p := range s.Privs {
+		if layout.PrivRange(i).Contains(addr) {
+			return p.PeekWord(addr)
+		}
+	}
+	panic(fmt.Sprintf("platform: Peek(%#08x) outside all memories", addr))
+}
+
+// ARMFactory returns a MasterFactory producing miniARM cores: core i runs
+// programs[i] (loaded into its private memory) behind I/D caches of the
+// given configuration.
+func ARMFactory(programs []*cpu.Program, icache, dcache cache.Config) MasterFactory {
+	return func(s *System, id int, port ocp.MasterPort) Master {
+		prog := programs[id]
+		s.Privs[id].LoadWords(prog.Base, prog.Words)
+		mu := cache.NewMemUnit(port, cache.New(icache), cache.New(dcache),
+			[]ocp.AddrRange{layout.PrivRange(id)})
+		return &armMaster{Core: cpu.NewCore(id, mu, prog.Entry)}
+	}
+}
+
+// armMaster adapts cpu.Core to the Master interface.
+type armMaster struct{ *cpu.Core }
+
+func (a *armMaster) Done() bool { return a.Halted() }
+
+// BuildARM is the common case: an ARM platform running one assembled
+// program per core.
+func BuildARM(cfg Config, programs []*cpu.Program, icache, dcache cache.Config) (*System, error) {
+	if len(programs) != cfg.Cores {
+		return nil, fmt.Errorf("platform: %d programs for %d cores", len(programs), cfg.Cores)
+	}
+	return Build(cfg, ARMFactory(programs, icache, dcache))
+}

@@ -1,0 +1,24 @@
+package sim
+
+// Clock describes the simulated clock. The paper's trace examples use a
+// 5 ns cycle ("We assume each TG cycle to take 5ns, the same as the IP core
+// for which the trace is collected"), so that is the default here.
+type Clock struct {
+	// PeriodNS is the clock period in nanoseconds.
+	PeriodNS uint64
+}
+
+// DefaultClock is the 200 MHz (5 ns) clock used in the paper's examples.
+var DefaultClock = Clock{PeriodNS: 5}
+
+// NS converts a cycle count into nanoseconds of simulated time.
+func (c Clock) NS(cycle uint64) uint64 { return cycle * c.PeriodNS }
+
+// Cycles converts a nanosecond timestamp into whole cycles (truncating),
+// matching the paper's 55 ns → 11th cycle example.
+func (c Clock) Cycles(ns uint64) uint64 {
+	if c.PeriodNS == 0 {
+		return ns / DefaultClock.PeriodNS
+	}
+	return ns / c.PeriodNS
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunEveryStrideDetection(t *testing.T) {
+	e := NewEngine(Clock{})
+	n := 0
+	e.Add(DeviceFunc(func(uint64) { n++ }))
+	// Condition true after 10 cycles, stride 8 → detected at cycle 16.
+	ran, err := e.RunEvery(1000, 8, func() bool { return n >= 10 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 16 {
+		t.Fatalf("detected after %d cycles, want 16 (stride rounding)", ran)
+	}
+}
+
+func TestRunEveryChecksFinalCycle(t *testing.T) {
+	// The predicate is evaluated after the last budgeted cycle even when
+	// it does not fall on a stride boundary.
+	e := NewEngine(Clock{})
+	n := 0
+	e.Add(DeviceFunc(func(uint64) { n++ }))
+	ran, err := e.RunEvery(10, 64, func() bool { return n >= 10 })
+	if err != nil {
+		t.Fatalf("final-cycle check missed: %v", err)
+	}
+	if ran != 10 {
+		t.Fatalf("ran %d", ran)
+	}
+}
+
+func TestRunEveryLimit(t *testing.T) {
+	e := NewEngine(Clock{})
+	_, err := e.RunEvery(20, 4, func() bool { return false })
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunEveryZeroStride(t *testing.T) {
+	e := NewEngine(Clock{})
+	n := 0
+	e.Add(DeviceFunc(func(uint64) { n++ }))
+	ran, err := e.RunEvery(100, 0, func() bool { return n >= 3 })
+	if err != nil || ran != 3 {
+		t.Fatalf("zero stride should behave like 1: ran=%d err=%v", ran, err)
+	}
+}
+
+func TestRunEveryNilPredicate(t *testing.T) {
+	e := NewEngine(Clock{})
+	if _, err := e.RunEvery(10, 1, nil); err == nil {
+		t.Fatal("nil predicate should error")
+	}
+}
+
+func TestDevicesCount(t *testing.T) {
+	e := NewEngine(Clock{})
+	if e.Devices() != 0 {
+		t.Fatal("fresh engine has devices")
+	}
+	e.Add(DeviceFunc(func(uint64) {}))
+	e.Add(DeviceFunc(func(uint64) {}))
+	if e.Devices() != 2 {
+		t.Fatalf("Devices() = %d", e.Devices())
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a small named-counter set used by devices to export
+// simulation statistics (transactions issued, wait cycles, flits routed…).
+// It is not safe for concurrent use; the kernel is single-threaded.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Add increments counter name by n.
+func (c *Counters) Add(name string, n uint64) {
+	if c.m == nil {
+		c.m = make(map[string]uint64)
+	}
+	c.m[name] += n
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of counter name (zero if never touched).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the counters as "name=value" pairs in sorted order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, n := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.m[n])
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-bucket latency histogram. Bucket i counts samples v
+// with bounds[i-1] <= v < bounds[i]; the last bucket is unbounded above.
+type Histogram struct {
+	bounds []uint64
+	counts []uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. An extra overflow bucket is always appended.
+func NewHistogram(bounds ...uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("sim: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v < h.bounds[i] })
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest observed sample (zero when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the arithmetic mean of the samples (zero when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Buckets returns copies of the bucket bounds and counts (the final count is
+// the overflow bucket).
+func (h *Histogram) Buckets() (bounds []uint64, counts []uint64) {
+	return append([]uint64(nil), h.bounds...), append([]uint64(nil), h.counts...)
+}

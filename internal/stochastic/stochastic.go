@@ -1,0 +1,223 @@
+// Package stochastic implements the statistical traffic generators of the
+// paper's related work (Lahiri et al. [6]): synthetic masters whose
+// inter-transaction gaps follow uniform, Gaussian, Poisson or bursty on/off
+// distributions. The paper's Section 2 argues such models "assume a degree
+// of correlation within the communication transactions which is unlikely in
+// a SoC environment"; the ablation benches quantify that claim against
+// trace-driven TGs.
+package stochastic
+
+import (
+	"fmt"
+
+	"math/rand"
+
+	"noctg/internal/ocp"
+	"noctg/internal/sim"
+)
+
+// Dist selects the inter-arrival distribution.
+type Dist int
+
+const (
+	// Uniform draws gaps uniformly from [0, 2·MeanGap].
+	Uniform Dist = iota
+	// Gaussian draws gaps from N(MeanGap, StdDev²), clamped at zero.
+	Gaussian
+	// Poisson draws exponential gaps with mean MeanGap (a Poisson process).
+	Poisson
+	// Bursty alternates bursts of back-to-back transactions with long
+	// off-periods, keeping the same mean rate.
+	Bursty
+)
+
+func (d Dist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	}
+	return fmt.Sprintf("Dist(%d)", int(d))
+}
+
+// Config describes a stochastic master.
+type Config struct {
+	// Dist is the inter-arrival model.
+	Dist Dist
+	// MeanGap is the mean idle gap between transactions in cycles.
+	MeanGap float64
+	// StdDev is the Gaussian standard deviation (default MeanGap/4).
+	StdDev float64
+	// BurstLen is the mean burst length for Bursty (default 8).
+	BurstLen int
+	// ReadFraction is the probability a transaction is a read (default 0.6).
+	ReadFraction float64
+	// Ranges are the target address ranges, picked uniformly.
+	Ranges []ocp.AddrRange
+	// Count is the number of transactions to issue.
+	Count int
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MeanGap <= 0 {
+		c.MeanGap = 10
+	}
+	if c.StdDev <= 0 {
+		c.StdDev = c.MeanGap / 4
+	}
+	if c.BurstLen <= 0 {
+		c.BurstLen = 8
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.6
+	}
+	if c.Count == 0 {
+		c.Count = 1000
+	}
+	return c
+}
+
+type genState int
+
+const (
+	gIdle genState = iota
+	gIssue
+	gResp
+	gDone
+)
+
+// Generator is a stochastic OCP master. It implements platform.Master.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	port ocp.MasterPort
+	id   int
+
+	issued   int
+	idleLeft uint64
+	burstPos int
+	state    genState
+	req      ocp.Request
+	reqStart uint64
+
+	halted    bool
+	haltCycle uint64
+	// Latency accumulates read response latencies for reporting.
+	Latency *sim.Histogram
+}
+
+// New builds a stochastic master with the given id over port.
+func New(id int, cfg Config, port ocp.MasterPort) *Generator {
+	if port == nil {
+		panic("stochastic: New requires a port")
+	}
+	if len(cfg.Ranges) == 0 {
+		panic("stochastic: Config.Ranges must not be empty")
+	}
+	cfg = cfg.withDefaults()
+	return &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+		port:    port,
+		id:      id,
+		Latency: sim.NewHistogram(4, 8, 16, 32, 64, 128, 256),
+	}
+}
+
+// Name implements sim.Named.
+func (g *Generator) Name() string { return fmt.Sprintf("stoch%d", g.id) }
+
+// Done reports whether all transactions have been issued and completed.
+func (g *Generator) Done() bool { return g.halted }
+
+// HaltCycle returns the completion cycle.
+func (g *Generator) HaltCycle() uint64 { return g.haltCycle }
+
+// Issued returns the number of transactions issued so far.
+func (g *Generator) Issued() int { return g.issued }
+
+// nextGap draws the next inter-transaction gap.
+func (g *Generator) nextGap() uint64 {
+	switch g.cfg.Dist {
+	case Uniform:
+		return uint64(g.rng.Float64() * 2 * g.cfg.MeanGap)
+	case Gaussian:
+		v := g.rng.NormFloat64()*g.cfg.StdDev + g.cfg.MeanGap
+		if v < 0 {
+			v = 0
+		}
+		return uint64(v)
+	case Poisson:
+		return uint64(g.rng.ExpFloat64() * g.cfg.MeanGap)
+	case Bursty:
+		// Within a burst: back-to-back. Between bursts: a gap long enough
+		// to preserve the mean rate.
+		g.burstPos++
+		if g.burstPos < g.cfg.BurstLen {
+			return 0
+		}
+		g.burstPos = 0
+		return uint64(g.rng.ExpFloat64() * g.cfg.MeanGap * float64(g.cfg.BurstLen))
+	}
+	return uint64(g.cfg.MeanGap)
+}
+
+// nextRequest draws the next transaction.
+func (g *Generator) nextRequest() ocp.Request {
+	r := g.cfg.Ranges[g.rng.Intn(len(g.cfg.Ranges))]
+	words := r.Size / 4
+	addr := r.Base + uint32(g.rng.Intn(int(words)))*4
+	if g.rng.Float64() < g.cfg.ReadFraction {
+		return ocp.Request{Cmd: ocp.Read, Addr: addr, Burst: 1, MasterID: g.id}
+	}
+	return ocp.Request{Cmd: ocp.Write, Addr: addr, Burst: 1,
+		Data: []uint32{g.rng.Uint32()}, MasterID: g.id}
+}
+
+// Tick implements sim.Device.
+func (g *Generator) Tick(cycle uint64) {
+	switch g.state {
+	case gDone:
+		return
+	case gIdle:
+		if g.issued >= g.cfg.Count {
+			g.halted = true
+			g.haltCycle = cycle
+			g.state = gDone
+			return
+		}
+		if g.idleLeft > 0 {
+			g.idleLeft--
+			return
+		}
+		g.req = g.nextRequest()
+		g.state = gIssue
+		fallthrough
+	case gIssue:
+		if g.port.TryRequest(&g.req) {
+			g.issued++
+			if g.req.Cmd.IsRead() {
+				g.reqStart = cycle
+				g.state = gResp
+			} else {
+				g.idleLeft = g.nextGap()
+				g.state = gIdle
+			}
+		}
+	case gResp:
+		if _, ok := g.port.TakeResponse(); ok {
+			g.Latency.Observe(cycle - g.reqStart)
+			g.idleLeft = g.nextGap()
+			g.state = gIdle
+		}
+	}
+}
+
+var _ sim.Device = (*Generator)(nil)
