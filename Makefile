@@ -1,0 +1,39 @@
+# Development entry points; CI (.github/workflows/ci.yml) runs the same
+# steps.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench sweep paper clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# make bench writes a dated baseline under bench/ (BENCH_<date>.json).
+bench:
+	./scripts/bench.sh
+
+# make sweep runs the stock 16-point grid on all cores.
+sweep:
+	$(GO) run ./cmd/tgsweep -out results
+
+# make paper regenerates the paper's evaluation in parallel.
+paper:
+	$(GO) run ./cmd/tgsweep -paper -sizes quick
+
+clean:
+	rm -rf bench results.json results.csv

@@ -14,6 +14,7 @@ import (
 	"noctg/internal/prog"
 	"noctg/internal/sim"
 	"noctg/internal/stochastic"
+	"noctg/internal/sweep"
 	"noctg/internal/trace"
 )
 
@@ -218,6 +219,52 @@ var (
 	SemRange = layout.SemRange
 	// SemAddr returns the address of semaphore i.
 	SemAddr = layout.SemAddr
+)
+
+// Parallel sweep types (the design-space exploration runner).
+type (
+	// SweepGrid is a workloads × fabrics × clocks × seeds parameter grid.
+	SweepGrid = sweep.Grid
+	// SweepWorkload names one traffic source of a grid.
+	SweepWorkload = sweep.Workload
+	// SweepFabric names one interconnect configuration of a grid.
+	SweepFabric = sweep.Fabric
+	// SweepPoint is one fully-specified grid configuration.
+	SweepPoint = sweep.Point
+	// SweepResult is the deterministic outcome of one grid point.
+	SweepResult = sweep.Result
+	// SweepRunner executes grid points over a bounded worker pool.
+	SweepRunner = sweep.Runner
+	// PaperSelect chooses experiment families for RunPaper.
+	PaperSelect = sweep.PaperSelect
+	// PaperResults aggregates the paper's experiments from one parallel run.
+	PaperResults = sweep.PaperResults
+	// EngineSnapshot is a serialisable end-of-run kernel capture.
+	EngineSnapshot = sim.Snapshot
+	// Fig2aResult is the Figure 2(a) transaction-semantics outcome.
+	Fig2aResult = exp.Fig2aResult
+	// Fig2bResult is the Figure 2(b) reactivity outcome.
+	Fig2bResult = exp.Fig2bResult
+)
+
+// Parallel sweep entry points.
+var (
+	// DefaultGrid returns the stock 16-configuration sweep.
+	DefaultGrid = sweep.DefaultGrid
+	// ParseGrid reads a JSON grid description.
+	ParseGrid = sweep.ParseGrid
+	// WriteSweepJSON renders sweep results as deterministic JSON.
+	WriteSweepJSON = sweep.WriteJSON
+	// WriteSweepCSV renders sweep results as deterministic CSV.
+	WriteSweepCSV = sweep.WriteCSV
+	// RunPaper executes every paper experiment as one parallel invocation.
+	RunPaper = sweep.RunPaper
+	// RunPaperSelect executes the selected experiment families in parallel.
+	RunPaperSelect = sweep.RunPaperSelect
+	// Fig2a measures the posted-write vs blocking-read experiment.
+	Fig2a = exp.Fig2a
+	// Fig2b measures the semaphore-reactivity experiment.
+	Fig2b = exp.Fig2b
 )
 
 // WriteTGP renders a TG program as canonical .tgp text.

@@ -33,6 +33,7 @@ import (
 	"noctg/internal/prog"
 	"noctg/internal/sim"
 	"noctg/internal/simtest"
+	"noctg/internal/sweep"
 )
 
 // benchSizes keeps the Table 2 sweep fast enough for -bench=. runs while
@@ -436,6 +437,35 @@ func BenchmarkAblationPollGapModel(b *testing.B) {
 				errPct = 100 * diff / float64(ref.Makespan)
 			}
 			b.ReportMetric(errPct, "errpct")
+		})
+	}
+}
+
+// --- parallel sweep runner ---
+
+func BenchmarkSweepDefaultGrid(b *testing.B) {
+	// The stock 16-configuration grid on one worker vs all host cores —
+	// the ratio is the sweep runner's parallel speedup.
+	grid := sweep.DefaultGrid()
+	points := grid.Expand()
+	for _, workers := range []int{1, 0} {
+		name := "allcores"
+		if workers == 1 {
+			name = "1worker"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sweep.Runner{Workers: workers}.Run(points)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range res {
+					if r.Err != "" {
+						b.Fatalf("point %d: %s", r.ID, r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(points))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 		})
 	}
 }

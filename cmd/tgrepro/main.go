@@ -1,14 +1,17 @@
 // Command tgrepro regenerates the paper's evaluation: Table 2 (accuracy and
 // speedup of TG-based simulation), the cross-interconnect .tgp equality
-// check, the trace-collection overhead experiment, and the baseline/design
-// ablations.
+// check, the trace-collection overhead experiment, the baseline/design
+// ablations, and the Figure 2 experiments. The selected experiment families
+// fan out over the sweep runner's worker pool, so the whole evaluation is
+// one parallel invocation.
 //
 // Usage:
 //
-//	tgrepro -table2 [-sizes quick|default]
+//	tgrepro -table2 [-sizes quick|default] [-workers N]
 //	tgrepro -crosscheck
 //	tgrepro -overhead
 //	tgrepro -ablation
+//	tgrepro -fig2
 //	tgrepro -all
 package main
 
@@ -17,10 +20,8 @@ import (
 	"fmt"
 	"os"
 
-	"noctg/internal/amba"
 	"noctg/internal/exp"
-	"noctg/internal/platform"
-	"noctg/internal/prog"
+	"noctg/internal/sweep"
 )
 
 func main() {
@@ -29,11 +30,20 @@ func main() {
 		crosscheck = flag.Bool("crosscheck", false, "cross-interconnect .tgp equality (Section 6, exp. 1)")
 		overhead   = flag.Bool("overhead", false, "trace-collection overhead (Section 6, exp. 2)")
 		ablation   = flag.Bool("ablation", false, "generator-fidelity and arbitration ablations")
+		fig2       = flag.Bool("fig2", false, "Figure 2 transaction-semantics and reactivity experiments")
 		all        = flag.Bool("all", false, "run every experiment")
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes: quick or default")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = all host cores)")
 	)
 	flag.Parse()
-	if !*table2 && !*crosscheck && !*overhead && !*ablation && !*all {
+	sel := sweep.PaperSelect{
+		Table2:     *table2 || *all,
+		CrossCheck: *crosscheck || *all,
+		Overhead:   *overhead || *all,
+		Ablation:   *ablation || *all,
+		Fig2:       *fig2 || *all,
+	}
+	if sel == (sweep.PaperSelect{}) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -42,67 +52,12 @@ func main() {
 	if *sizesFlag == "quick" {
 		sizes = exp.QuickSizes()
 	}
-	opt := exp.DefaultOptions()
-
-	if *table2 || *all {
-		fmt.Println("== Table 2: TG vs ARM performance with AMBA ==")
-		rows, err := exp.Table2(sizes, opt)
-		fail(err)
-		fmt.Print(exp.FormatTable2(rows))
-		fmt.Println()
+	if *workers != 1 && (sel.Table2 || sel.Overhead) {
+		fmt.Fprintln(os.Stderr, "tgrepro:", sweep.TimingCaveat)
 	}
-	if *crosscheck || *all {
-		fmt.Println("== Cross-interconnect .tgp equality (AMBA vs xpipes) ==")
-		for _, spec := range []*prog.Spec{
-			prog.Cacheloop(2, sizes.CacheloopIters),
-			prog.MPMatrix(4, sizes.MPMatrixN),
-			prog.DES(3, sizes.DESBlocks),
-		} {
-			res, err := exp.CrossCheck(spec, opt)
-			fail(err)
-			verdict := "IDENTICAL"
-			if !res.Equal {
-				verdict = "DIFFER: " + res.FirstDiff
-			}
-			fmt.Printf("%-10s %dP: AMBA %d cycles, xpipes %d cycles, programs %s (%d insts)\n",
-				res.Bench, res.Cores, res.MakespanA, res.MakespanX, verdict, res.ProgramLen)
-		}
-		fmt.Println()
-	}
-	if *overhead || *all {
-		fmt.Println("== Trace-collection overhead (MP matrix, 4 processors) ==")
-		res, err := exp.MeasureOverhead(prog.MPMatrix(4, sizes.MPMatrixN), opt)
-		fail(err)
-		fmt.Printf("plain run        : %v\n", res.PlainWall)
-		fmt.Printf("with tracing     : %v\n", res.TracedWall)
-		fmt.Printf("translation      : %v\n", res.TranslateWall)
-		fmt.Printf("trace size       : %d bytes\n", res.TraceBytes)
-		fmt.Println()
-	}
-	if *ablation || *all {
-		fmt.Println("== Generator fidelity on a different interconnect (trace AMBA → replay xpipes) ==")
-		target := opt
-		target.Platform.Interconnect = platform.XPipes
-		rows, err := exp.AblationGenerators(prog.MPMatrix(4, sizes.MPMatrixN), opt, target)
-		fail(err)
-		for _, r := range rows {
-			if !r.Completed {
-				fmt.Printf("%-10s: DID NOT COMPLETE (ground truth %d cycles)\n", r.Kind, r.GroundTruth)
-				continue
-			}
-			fmt.Printf("%-10s: %d cycles vs ground truth %d (error %.2f%%)\n",
-				r.Kind, r.Makespan, r.GroundTruth, r.ErrorPct)
-		}
-		fmt.Println()
-		fmt.Println("== Arbitration-policy ablation (MP matrix, 4 processors) ==")
-		arows, err := exp.AblationArbitration(prog.MPMatrix(4, sizes.MPMatrixN), opt,
-			[]amba.Policy{amba.RoundRobin, amba.FixedPriority, amba.TDMA})
-		fail(err)
-		for _, r := range arows {
-			fmt.Printf("%-15s: makespan %d cycles, worst master wait %d cycles\n",
-				r.Policy, r.Makespan, r.MaxWait)
-		}
-	}
+	res, err := sweep.RunPaperSelect(sizes, exp.DefaultOptions(), *workers, sel)
+	fail(err)
+	sweep.FormatPaper(os.Stdout, res, sel)
 }
 
 func fail(err error) {

@@ -1,0 +1,121 @@
+// Command tgsweep runs a parallel experiment sweep: a parameter grid of
+// workloads × fabrics × clock periods × seeds fans out over a bounded
+// worker pool, one independent simulation engine per configuration, and the
+// per-run latency/throughput/flit metrics land in JSON and CSV artifacts
+// whose bytes are identical for any -workers value.
+//
+// Usage:
+//
+//	tgsweep [-workers N] [-grid FILE|default] [-out BASE|-] [-maxcycles N]
+//	tgsweep -print-grid            # dump the default grid as a template
+//	tgsweep -paper [-sizes quick|default] [-workers N]
+//
+// With -paper, the paper's full evaluation (Table 2, the cross-interconnect
+// .tgp check, the overhead measurement, the ablations and the Figure 2
+// experiments) runs as one parallel invocation instead of a grid sweep.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"noctg/internal/exp"
+	"noctg/internal/sweep"
+)
+
+func main() {
+	var (
+		workers   = flag.Int("workers", 0, "worker pool size (0 = all host cores)")
+		gridPath  = flag.String("grid", "default", "grid JSON file, or \"default\" for the stock 16-point sweep")
+		out       = flag.String("out", "results", "output basename (<out>.json and <out>.csv), or \"-\" for JSON on stdout")
+		maxCycles = flag.Uint64("maxcycles", 0, "override the per-run simulated-cycle budget")
+		printGrid = flag.Bool("print-grid", false, "print the default grid JSON and exit")
+		paper     = flag.Bool("paper", false, "run the paper's experiments as one parallel invocation")
+		sizesFlag = flag.String("sizes", "default", "benchmark sizes for -paper: quick or default")
+	)
+	flag.Parse()
+
+	if *printGrid {
+		g := sweep.DefaultGrid()
+		pts := g.Expand()
+		fmt.Fprintf(os.Stderr, "default grid: %d points\n", len(pts))
+		fail(writeGridJSON(os.Stdout, g))
+		return
+	}
+	if *paper {
+		runPaper(*sizesFlag, *workers)
+		return
+	}
+
+	grid := sweep.DefaultGrid()
+	if *gridPath != "default" {
+		f, err := os.Open(*gridPath)
+		fail(err)
+		grid, err = sweep.ParseGrid(f)
+		f.Close()
+		fail(err)
+	}
+	points := grid.Expand()
+	fmt.Fprintf(os.Stderr, "tgsweep: %d configurations, %d workers\n", len(points), *workers)
+
+	start := time.Now()
+	results, err := sweep.Runner{Workers: *workers, MaxCycles: *maxCycles}.Run(points)
+	fail(err)
+	wall := time.Since(start)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "tgsweep: point %d (%s @ %s): %s\n", r.ID, r.Workload, r.Fabric, r.Err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tgsweep: %d/%d points ok in %v\n", len(results)-failed, len(results), wall.Round(time.Millisecond))
+
+	if *out == "-" {
+		fail(sweep.WriteJSON(os.Stdout, results))
+		return
+	}
+	jf, err := os.Create(*out + ".json")
+	fail(err)
+	fail(sweep.WriteJSON(jf, results))
+	fail(jf.Close())
+	cf, err := os.Create(*out + ".csv")
+	fail(err)
+	fail(sweep.WriteCSV(cf, results))
+	fail(cf.Close())
+	fmt.Fprintf(os.Stderr, "tgsweep: wrote %s.json and %s.csv\n", *out, *out)
+}
+
+// runPaper executes the whole evaluation in parallel and prints the same
+// reports as the sequential tgrepro harness.
+func runPaper(sizesFlag string, workers int) {
+	sizes := exp.DefaultSizes()
+	if sizesFlag == "quick" {
+		sizes = exp.QuickSizes()
+	}
+	if workers != 1 {
+		fmt.Fprintln(os.Stderr, "tgsweep:", sweep.TimingCaveat)
+	}
+	start := time.Now()
+	res, err := sweep.RunPaper(sizes, exp.DefaultOptions(), workers)
+	fail(err)
+	sweep.FormatPaper(os.Stdout, res, sweep.AllPaper())
+	fmt.Fprintf(os.Stderr, "tgsweep: paper evaluation in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func writeGridJSON(f *os.File, g sweep.Grid) error {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tgsweep:", err)
+		os.Exit(1)
+	}
+}

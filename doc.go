@@ -21,7 +21,21 @@
 // wormhole NoC (noc), caches (cache), the miniARM ISS and its assembler
 // (cpu), the Table 2 benchmarks (prog), the .trc trace format (trace), the
 // TG instruction set / translator / device (core), baseline generators
-// (replay, stochastic), platform assembly (platform) and the experiment
-// harness (exp). See DESIGN.md for the system inventory and EXPERIMENTS.md
-// for measured-vs-paper results.
+// (replay, stochastic), platform assembly (platform), the experiment
+// harness (exp) and the parallel sweep runner (sweep). See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for measured-vs-paper results.
+//
+// Design-space sweeps run in parallel through the sweep API: a SweepGrid
+// (workloads × fabrics × clock periods × seeds) expands into independent
+// configurations, each simulated on its own engine by a bounded worker
+// pool, with deterministic JSON/CSV artifacts — byte-identical for any
+// worker count:
+//
+//	grid := noctg.DefaultGrid()
+//	results, _ := noctg.SweepRunner{Workers: 8}.Run(grid.Expand())
+//	noctg.WriteSweepCSV(os.Stdout, results)
+//
+// The cmd/tgsweep CLI wraps the same flow (-grid, -workers, -out), and
+// RunPaper regenerates the paper's whole evaluation as one parallel
+// invocation.
 package noctg

@@ -1,0 +1,3 @@
+module noctg
+
+go 1.24

@@ -60,7 +60,10 @@ type Config struct {
 	RespCycles uint64
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the configuration with zero fields resolved to
+// their defaults — the effective geometry a Network built from c will
+// have, available to callers that must validate capacity up front.
+func (c Config) WithDefaults() Config {
 	if c.Width == 0 {
 		c.Width = 4
 	}
@@ -248,7 +251,7 @@ func New(cfg Config, now func() uint64) *Network {
 	if now == nil {
 		panic("noc: New requires a cycle source")
 	}
-	n := &Network{cfg: cfg.withDefaults(), now: now}
+	n := &Network{cfg: cfg.WithDefaults(), now: now}
 	total := n.cfg.Width * n.cfg.Height
 	for id := 0; id < total; id++ {
 		r := &router{n: n, id: id, x: id % n.cfg.Width, y: id / n.cfg.Width}

@@ -67,6 +67,9 @@ type Config struct {
 	NoC noc.Config
 	// MemWaitStates is the intrinsic slave access time (default 1).
 	MemWaitStates uint64
+	// Clock sets the simulated clock; the zero value is the paper's
+	// default 5 ns period.
+	Clock sim.Clock
 	// Trace enables OCP monitors on every master port.
 	Trace bool
 }
@@ -106,7 +109,7 @@ func Build(cfg Config, factory MasterFactory) (*System, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("platform: nil master factory")
 	}
-	e := sim.NewEngine(sim.Clock{})
+	e := sim.NewEngine(cfg.Clock)
 	s := &System{Engine: e, Cfg: cfg}
 
 	s.Shared = mem.NewRAM("shared", layout.SharedBase, layout.SharedSize, cfg.MemWaitStates)
@@ -140,6 +143,15 @@ func Build(cfg Config, factory MasterFactory) (*System, error) {
 		ncfg := cfg.NoC
 		if ncfg.Width == 0 && ncfg.Height == 0 {
 			ncfg = autoMesh(cfg.Cores)
+		}
+		// Masters fill from the front, slaves from the back, and one spare
+		// node keeps them apart — verify the *effective* geometry (partial
+		// zero dimensions default inside noc) before attaching anything,
+		// because the mesh itself panics on a double-occupied node.
+		ncfg = ncfg.WithDefaults()
+		if ncfg.Width*ncfg.Height < cfg.Cores*2+3 {
+			return nil, fmt.Errorf("platform: mesh %dx%d too small for %d cores and %d slaves",
+				ncfg.Width, ncfg.Height, cfg.Cores, cfg.Cores+2)
 		}
 		net := noc.New(ncfg, e.Cycle)
 		// Placement: masters fill nodes from the start, slaves from the end

@@ -1,0 +1,61 @@
+package sim
+
+// Snapshot is an immutable, serialisable capture of one engine's state at
+// the end of a run. Every field is derived from simulated state only, so two
+// identical runs — regardless of host scheduling or how many engines were
+// executing concurrently — produce identical snapshots. The sweep runner
+// relies on this to emit byte-identical result artifacts across worker
+// counts.
+type Snapshot struct {
+	// Cycles is the number of completed simulation cycles.
+	Cycles uint64 `json:"cycles"`
+	// SimNS is the simulated time in nanoseconds (Cycles × clock period).
+	SimNS uint64 `json:"sim_ns"`
+	// Devices is the number of registered devices.
+	Devices int `json:"devices"`
+	// ClockPeriodNS is the effective clock period.
+	ClockPeriodNS uint64 `json:"clock_period_ns"`
+}
+
+// Snapshot captures the engine's current cycle count and clock.
+func (e *Engine) Snapshot() Snapshot {
+	clk := e.Clock()
+	return Snapshot{
+		Cycles:        e.cycle,
+		SimNS:         clk.NS(e.cycle),
+		Devices:       len(e.devices),
+		ClockPeriodNS: clk.PeriodNS,
+	}
+}
+
+// Snapshot returns a copy of the counter set as a plain map.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// HistogramSnapshot is an immutable, serialisable capture of a Histogram.
+type HistogramSnapshot struct {
+	Count  uint64   `json:"count"`
+	Sum    uint64   `json:"sum"`
+	Max    uint64   `json:"max"`
+	Mean   float64  `json:"mean"`
+	Bounds []uint64 `json:"bounds,omitempty"`
+	Counts []uint64 `json:"counts,omitempty"`
+}
+
+// Snapshot captures the histogram's current totals and buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	bounds, counts := h.Buckets()
+	return HistogramSnapshot{
+		Count:  h.n,
+		Sum:    h.sum,
+		Max:    h.max,
+		Mean:   h.Mean(),
+		Bounds: bounds,
+		Counts: counts,
+	}
+}

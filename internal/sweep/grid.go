@@ -1,0 +1,277 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"noctg/internal/platform"
+	"noctg/internal/prog"
+	"noctg/internal/stochastic"
+)
+
+// Workload kinds.
+const (
+	// KindTG traces a paper benchmark once on the reference platform,
+	// translates it, and replays the reactive TG programs on the point's
+	// fabric (the paper's design-space-exploration flow).
+	KindTG = "tg"
+	// KindStochastic drives the fabric with seeded statistical masters
+	// (the Lahiri-style baseline of Section 2).
+	KindStochastic = "stochastic"
+)
+
+// Workload names one traffic source swept over the grid.
+type Workload struct {
+	// Kind is KindTG or KindStochastic.
+	Kind string `json:"kind"`
+	// Bench names the paper benchmark for KindTG: spmatrix, cacheloop,
+	// mpmatrix, des or pipeline.
+	Bench string `json:"bench,omitempty"`
+	// Cores is the number of master devices.
+	Cores int `json:"cores"`
+	// Size is the benchmark size knob (matrix N, loop iterations, DES
+	// blocks, pipeline items).
+	Size int `json:"size,omitempty"`
+	// Dist selects the stochastic distribution for KindStochastic:
+	// uniform, gaussian, poisson or bursty.
+	Dist string `json:"dist,omitempty"`
+	// MeanGap is the stochastic mean inter-transaction gap in cycles
+	// (default 10).
+	MeanGap float64 `json:"mean_gap,omitempty"`
+	// Count is the per-master stochastic transaction count (default 1000).
+	Count int `json:"count,omitempty"`
+}
+
+// Label is a compact human-readable workload name, stable across runs.
+func (w Workload) Label() string {
+	if w.Kind == KindStochastic {
+		return fmt.Sprintf("stochastic-%s/%dP/%d", w.Dist, w.Cores, w.Count)
+	}
+	return fmt.Sprintf("%s/%dP/%d", w.Bench, w.Cores, w.Size)
+}
+
+// spec builds the benchmark spec for a TG workload. The prog constructors
+// panic on out-of-range sizes; convert that into a validation error so a
+// bad grid never takes the process down.
+func (w Workload) spec() (s *prog.Spec, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s, err = nil, fmt.Errorf("sweep: invalid workload %s: %v", w.Label(), r)
+		}
+	}()
+	switch w.Bench {
+	case "spmatrix":
+		return prog.SPMatrix(w.Size), nil
+	case "cacheloop":
+		return prog.Cacheloop(w.Cores, w.Size), nil
+	case "mpmatrix":
+		return prog.MPMatrix(w.Cores, w.Size), nil
+	case "des":
+		return prog.DES(w.Cores, w.Size), nil
+	case "pipeline":
+		return prog.Pipeline(w.Cores, w.Size), nil
+	}
+	return nil, fmt.Errorf("sweep: unknown benchmark %q", w.Bench)
+}
+
+// dist maps the distribution name onto the stochastic package's enum.
+func (w Workload) dist() (stochastic.Dist, error) {
+	for d := stochastic.Uniform; d <= stochastic.Bursty; d++ {
+		if d.String() == w.Dist {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: unknown distribution %q", w.Dist)
+}
+
+func (w Workload) validate() error {
+	switch w.Kind {
+	case KindTG:
+		if w.Size <= 0 {
+			return fmt.Errorf("sweep: workload %s needs a positive size", w.Bench)
+		}
+		spec, err := w.spec()
+		if err != nil {
+			return err
+		}
+		if w.Cores > 0 && spec.Cores != w.Cores {
+			return fmt.Errorf("sweep: %s built %d cores, workload asked for %d",
+				w.Bench, spec.Cores, w.Cores)
+		}
+	case KindStochastic:
+		if _, err := w.dist(); err != nil {
+			return err
+		}
+		if w.Cores <= 0 {
+			return fmt.Errorf("sweep: stochastic workload needs cores > 0")
+		}
+	default:
+		return fmt.Errorf("sweep: unknown workload kind %q", w.Kind)
+	}
+	return nil
+}
+
+// Interconnect names.
+const (
+	FabricAMBA   = "amba"
+	FabricXPipes = "xpipes"
+)
+
+// Fabric names one interconnect configuration swept over the grid.
+type Fabric struct {
+	// Interconnect is FabricAMBA or FabricXPipes.
+	Interconnect string `json:"interconnect"`
+	// MeshWidth / MeshHeight give the ×pipes mesh dimensions; both zero
+	// auto-sizes the mesh to the core count.
+	MeshWidth  int `json:"mesh_width,omitempty"`
+	MeshHeight int `json:"mesh_height,omitempty"`
+	// BufferFlits is the per-input, per-VC router FIFO depth (default 4).
+	BufferFlits int `json:"buffer_flits,omitempty"`
+	// MemWaitStates is the intrinsic slave access time (default 1).
+	MemWaitStates uint64 `json:"mem_wait_states,omitempty"`
+}
+
+// Label is a compact human-readable fabric name, stable across runs.
+func (f Fabric) Label() string {
+	s := f.Interconnect
+	if f.Interconnect == FabricXPipes {
+		if f.MeshWidth > 0 || f.MeshHeight > 0 {
+			s += fmt.Sprintf("-%dx%d", f.MeshWidth, f.MeshHeight)
+		}
+		if f.BufferFlits > 0 {
+			s += fmt.Sprintf("-buf%d", f.BufferFlits)
+		}
+	}
+	if f.MemWaitStates > 1 {
+		s += fmt.Sprintf("-ws%d", f.MemWaitStates)
+	}
+	return s
+}
+
+func (f Fabric) interconnect() (platform.Interconnect, error) {
+	switch f.Interconnect {
+	case FabricAMBA:
+		return platform.AMBA, nil
+	case FabricXPipes:
+		return platform.XPipes, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown interconnect %q", f.Interconnect)
+}
+
+// Grid is the cross product of workloads × fabrics × clock periods × seeds.
+type Grid struct {
+	Workloads []Workload `json:"workloads"`
+	Fabrics   []Fabric   `json:"fabrics"`
+	// ClockPeriodsNS lists the clock periods to sweep (default [5], the
+	// paper's 200 MHz).
+	ClockPeriodsNS []uint64 `json:"clock_periods_ns,omitempty"`
+	// Seeds lists the stochastic seeds to sweep (default [1]). TG points
+	// are deterministic, so they run once per seed only if several seeds
+	// are listed — keep one seed for TG-only grids.
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// Point is one fully-specified grid configuration.
+type Point struct {
+	ID            int      `json:"id"`
+	Workload      Workload `json:"workload"`
+	Fabric        Fabric   `json:"fabric"`
+	ClockPeriodNS uint64   `json:"clock_period_ns"`
+	Seed          int64    `json:"seed"`
+}
+
+// Label identifies the point in reports.
+func (p Point) Label() string {
+	return fmt.Sprintf("%s@%s/clk%d/seed%d",
+		p.Workload.Label(), p.Fabric.Label(), p.ClockPeriodNS, p.Seed)
+}
+
+// Expand enumerates the grid points in a fixed nesting order
+// (workload → fabric → clock → seed); IDs are assigned in that order.
+func (g Grid) Expand() []Point {
+	clocks := g.ClockPeriodsNS
+	if len(clocks) == 0 {
+		clocks = []uint64{5}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	var pts []Point
+	for _, w := range g.Workloads {
+		for _, f := range g.Fabrics {
+			for _, c := range clocks {
+				for _, s := range seeds {
+					pts = append(pts, Point{
+						ID: len(pts), Workload: w, Fabric: f,
+						ClockPeriodNS: c, Seed: s,
+					})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Validate checks every axis value so a bad grid fails before any engine is
+// built, deterministically.
+func (g Grid) Validate() error {
+	if len(g.Workloads) == 0 {
+		return fmt.Errorf("sweep: grid has no workloads")
+	}
+	if len(g.Fabrics) == 0 {
+		return fmt.Errorf("sweep: grid has no fabrics")
+	}
+	for i, w := range g.Workloads {
+		if err := w.validate(); err != nil {
+			return fmt.Errorf("workload %d: %w", i, err)
+		}
+	}
+	for i, f := range g.Fabrics {
+		if _, err := f.interconnect(); err != nil {
+			return fmt.Errorf("fabric %d: %w", i, err)
+		}
+	}
+	for i, c := range g.ClockPeriodsNS {
+		if c == 0 {
+			return fmt.Errorf("sweep: clock period %d is zero; omit the axis for the 5 ns default", i)
+		}
+	}
+	return nil
+}
+
+// ParseGrid reads a JSON grid description. Unknown fields are rejected so a
+// typo in a sweep file fails loudly rather than silently shrinking the grid.
+func ParseGrid(r io.Reader) (Grid, error) {
+	var g Grid
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("sweep: parsing grid: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return Grid{}, err
+	}
+	return g, nil
+}
+
+// DefaultGrid is the stock 16-configuration design-space sweep: two
+// trace-driven TG workloads and two stochastic baselines, each replayed on
+// the AMBA bus (fast and slow slaves) and two ×pipes mesh variants.
+func DefaultGrid() Grid {
+	return Grid{
+		Workloads: []Workload{
+			{Kind: KindTG, Bench: "mpmatrix", Cores: 2, Size: 8},
+			{Kind: KindTG, Bench: "cacheloop", Cores: 2, Size: 500},
+			{Kind: KindStochastic, Dist: "uniform", Cores: 2, MeanGap: 8, Count: 400},
+			{Kind: KindStochastic, Dist: "bursty", Cores: 2, MeanGap: 8, Count: 400},
+		},
+		Fabrics: []Fabric{
+			{Interconnect: FabricAMBA},
+			{Interconnect: FabricAMBA, MemWaitStates: 4},
+			{Interconnect: FabricXPipes, MeshWidth: 4, MeshHeight: 2, BufferFlits: 2},
+			{Interconnect: FabricXPipes, MeshWidth: 4, MeshHeight: 2, BufferFlits: 8},
+		},
+	}
+}

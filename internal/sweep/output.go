@@ -1,0 +1,57 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteJSON renders the result set as indented JSON. Field order and float
+// formatting are fixed, so identical results serialise to identical bytes.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// csvHeader is the fixed column set of WriteCSV.
+var csvHeader = []string{
+	"id", "workload", "fabric", "clock_period_ns", "seed", "err",
+	"makespan_cycles", "makespan_ns", "engine_cycles",
+	"transactions", "reads", "latency_mean_cycles", "latency_max_cycles",
+	"throughput_tpk", "flits_routed", "bus_busy_cycles",
+}
+
+// WriteCSV renders the result set as CSV with a fixed header.
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			strconv.Itoa(r.ID),
+			r.Workload,
+			r.Fabric,
+			strconv.FormatUint(r.ClockPeriodNS, 10),
+			strconv.FormatInt(r.Seed, 10),
+			r.Err,
+			strconv.FormatUint(r.MakespanCycles, 10),
+			strconv.FormatUint(r.MakespanNS, 10),
+			strconv.FormatUint(r.Engine.Cycles, 10),
+			strconv.FormatUint(r.Transactions, 10),
+			strconv.FormatUint(r.Reads, 10),
+			strconv.FormatFloat(r.Latency.Mean, 'g', -1, 64),
+			strconv.FormatUint(r.Latency.Max, 10),
+			strconv.FormatFloat(r.ThroughputTPK, 'g', -1, 64),
+			strconv.FormatUint(r.FlitsRouted, 10),
+			strconv.FormatUint(r.BusBusyCycles, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,243 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"noctg/internal/core"
+	"noctg/internal/exp"
+	"noctg/internal/layout"
+	"noctg/internal/noc"
+	"noctg/internal/ocp"
+	"noctg/internal/platform"
+	"noctg/internal/sim"
+	"noctg/internal/stochastic"
+)
+
+// Result is the outcome of one grid point. Every field is derived from
+// simulated state only — no wall-clock times — so a result set serialises
+// identically no matter how many workers produced it. A failed run keeps
+// its slot with Err set instead of aborting the sweep.
+type Result struct {
+	ID            int    `json:"id"`
+	Workload      string `json:"workload"`
+	Fabric        string `json:"fabric"`
+	ClockPeriodNS uint64 `json:"clock_period_ns"`
+	Seed          int64  `json:"seed"`
+	Err           string `json:"err,omitempty"`
+
+	// MakespanCycles is the latest master completion cycle; MakespanNS is
+	// the same through the point's clock.
+	MakespanCycles uint64 `json:"makespan_cycles"`
+	MakespanNS     uint64 `json:"makespan_ns"`
+	// Engine is the end-of-run kernel snapshot (includes drain cycles).
+	Engine sim.Snapshot `json:"engine"`
+	// Transactions counts OCP commands observed at the master ports;
+	// Reads counts those with responses.
+	Transactions uint64 `json:"transactions"`
+	Reads        uint64 `json:"reads"`
+	// Latency summarises per-read response latency in cycles.
+	Latency sim.HistogramSnapshot `json:"latency"`
+	// ThroughputTPK is transactions per thousand simulated cycles.
+	ThroughputTPK float64 `json:"throughput_tpk"`
+	// FlitsRouted counts NoC link traversals (zero on AMBA);
+	// BusBusyCycles counts occupied bus cycles (zero on ×pipes).
+	FlitsRouted   uint64 `json:"flits_routed"`
+	BusBusyCycles uint64 `json:"bus_busy_cycles"`
+}
+
+// Runner executes grid points over a bounded worker pool.
+type Runner struct {
+	// Workers bounds concurrent engines (<= 0 means GOMAXPROCS).
+	Workers int
+	// MaxCycles overrides the per-run cycle budget. Zero picks a default:
+	// 8× the benchmark's MaxCycles for TG points (slow fabrics stretch the
+	// run), 2,000,000 cycles for stochastic points.
+	MaxCycles uint64
+}
+
+const stochasticMaxCycles = 2_000_000
+
+// tgOverrun stretches a benchmark's cycle budget so slow sweep fabrics
+// (deep wait states, small meshes) still finish.
+const tgOverrun = 8
+
+// programCache translates each distinct TG workload once and shares the
+// read-only programs across every point (and worker) that replays them —
+// the paper's trace-once/replay-many exploration flow. Sharing is safe:
+// TG devices keep all mutable state (registers, PC) in the device, never
+// in the program.
+type programCache struct {
+	mu sync.Mutex
+	m  map[Workload]*programEntry
+}
+
+type programEntry struct {
+	once  sync.Once
+	progs []*core.Program
+	err   error
+}
+
+func (c *programCache) get(w Workload) ([]*core.Program, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[Workload]*programEntry)
+	}
+	e, ok := c.m[w]
+	if !ok {
+		e = &programEntry{}
+		c.m[w] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.progs, e.err = translate(w) })
+	return e.progs, e.err
+}
+
+// translate runs the reference (cycle-true ARM, AMBA) platform traced and
+// converts the traces into TG programs. The cross-interconnect equality
+// property (Section 6) guarantees the programs are fabric-independent, so
+// one translation serves every fabric in the grid.
+func translate(w Workload) ([]*core.Program, error) {
+	spec, err := w.spec()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := exp.RunReference(spec, exp.DefaultOptions(), true)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reference %s: %w", w.Label(), err)
+	}
+	progs, _, _, err := exp.TranslateAll(spec, ref.Traces,
+		core.DefaultTranslateConfig(exp.PollRangesFor(spec)))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: translate %s: %w", w.Label(), err)
+	}
+	return progs, nil
+}
+
+// Run executes every point and returns the results in point order,
+// regardless of Workers. It returns an error only for an invalid grid
+// point; individual run failures are recorded in Result.Err.
+func (r Runner) Run(points []Point) ([]Result, error) {
+	for _, p := range points {
+		if err := p.Workload.validate(); err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", p.ID, err)
+		}
+		if _, err := p.Fabric.interconnect(); err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", p.ID, err)
+		}
+		if p.ClockPeriodNS == 0 {
+			return nil, fmt.Errorf("sweep: point %d: zero clock period", p.ID)
+		}
+	}
+	cache := &programCache{}
+	return Map(r.Workers, points, func(_ int, p Point) (Result, error) {
+		return r.runPoint(cache, p), nil
+	})
+}
+
+// RunGrid validates, expands and runs a grid.
+func (r Runner) RunGrid(g Grid) ([]Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return r.Run(g.Expand())
+}
+
+// runPoint executes one configuration on its own engine. A panicking model
+// is recorded as that point's failure rather than aborting the sweep.
+func (r Runner) runPoint(cache *programCache, p Point) (res Result) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res.Err = fmt.Sprintf("panic: %v", rec)
+		}
+	}()
+	res = Result{
+		ID:            p.ID,
+		Workload:      p.Workload.Label(),
+		Fabric:        p.Fabric.Label(),
+		ClockPeriodNS: p.ClockPeriodNS,
+		Seed:          p.Seed,
+	}
+	ic, _ := p.Fabric.interconnect()
+	cfg := platform.Config{
+		Cores:        p.Workload.Cores,
+		Interconnect: ic,
+		NoC: noc.Config{
+			Width:       p.Fabric.MeshWidth,
+			Height:      p.Fabric.MeshHeight,
+			BufferFlits: p.Fabric.BufferFlits,
+		},
+		MemWaitStates: p.Fabric.MemWaitStates,
+		Clock:         sim.Clock{PeriodNS: p.ClockPeriodNS},
+		Trace:         true,
+	}
+
+	var (
+		sys       *platform.System
+		maxCycles uint64
+		err       error
+	)
+	switch p.Workload.Kind {
+	case KindTG:
+		var progs []*core.Program
+		progs, err = cache.get(p.Workload)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		spec, _ := p.Workload.spec()
+		cfg.Cores = spec.Cores
+		maxCycles = spec.MaxCycles * tgOverrun
+		sys, err = platform.BuildTG(cfg, progs)
+	case KindStochastic:
+		maxCycles = stochasticMaxCycles
+		scfg := stochastic.Config{
+			MeanGap: p.Workload.MeanGap,
+			Count:   p.Workload.Count,
+			Seed:    p.Seed,
+			Ranges:  []ocp.AddrRange{layout.SharedRange()},
+		}
+		scfg.Dist, _ = p.Workload.dist()
+		sys, err = platform.Build(cfg, func(_ *platform.System, id int, port ocp.MasterPort) platform.Master {
+			return stochastic.New(id, scfg, port)
+		})
+	}
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if r.MaxCycles > 0 {
+		maxCycles = r.MaxCycles
+	}
+
+	makespan, err := sys.Run(maxCycles)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.MakespanCycles = makespan
+	res.MakespanNS = sys.Engine.Clock().NS(makespan)
+	res.Engine = sys.Engine.Snapshot()
+
+	hist := sim.NewHistogram(4, 8, 16, 32, 64, 128, 256)
+	for _, mon := range sys.Monitors {
+		for _, e := range mon.Events() {
+			res.Transactions++
+			if e.HasResp {
+				hist.Observe(e.Resp - e.Accept)
+			}
+		}
+	}
+	res.Reads = hist.Count()
+	res.Latency = hist.Snapshot()
+	if makespan > 0 {
+		res.ThroughputTPK = float64(res.Transactions) * 1000 / float64(makespan)
+	}
+	if sys.Net != nil {
+		res.FlitsRouted = sys.Net.FlitsRouted()
+	}
+	if sys.Bus != nil {
+		res.BusBusyCycles = sys.Bus.BusyCycles()
+	}
+	return res
+}

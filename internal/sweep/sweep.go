@@ -1,0 +1,88 @@
+// Package sweep is the parallel experiment-sweep runner: it fans a
+// parameter grid (mesh dimensions, buffer depth, traffic workload, clock
+// period, seed) out over a bounded worker pool, builds one independent
+// sim.Engine per grid point, and collects per-run latency / throughput /
+// flit metrics into JSON and CSV artifacts with stable ordering.
+//
+// Determinism is the package's contract: the simulation kernel is
+// single-goroutine per engine and every grid point is self-contained, so
+// the result set is byte-identical no matter how many workers execute it —
+// a property the test suite verifies. The paper's whole value proposition
+// is cheap design-space sweeps; this package is the substrate that turns
+// the repository's one-engine-at-a-time harness into "all configurations,
+// all cores, one invocation".
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Run executes tasks over a worker pool of the given size and returns each
+// task's error at the task's own index. Output position never depends on
+// worker count or goroutine scheduling — each task writes only its own
+// slot — which is what lets callers guarantee identical artifacts across
+// -workers settings. workers <= 0 means GOMAXPROCS. A panicking task is
+// converted into an error rather than taking the whole sweep down.
+func Run(workers int, tasks []func() error) []error {
+	errs := make([]error, len(tasks))
+	if len(tasks) == 0 {
+		return errs
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = protect(tasks[i])
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return errs
+}
+
+// protect runs f, converting a panic into an error.
+func protect(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: task panic: %v", r)
+		}
+	}()
+	return f()
+}
+
+// Map fans fn over items on a worker pool and returns the results in item
+// order. The first argument of fn is the item's index. It returns a joined
+// error of every failed item; successful items keep their results either
+// way.
+func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	tasks := make([]func() error, len(items))
+	for i := range items {
+		i := i
+		tasks[i] = func() error {
+			r, err := fn(i, items[i])
+			if err != nil {
+				return fmt.Errorf("item %d: %w", i, err)
+			}
+			out[i] = r
+			return nil
+		}
+	}
+	return out, errors.Join(Run(workers, tasks)...)
+}

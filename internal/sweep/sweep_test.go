@@ -1,0 +1,305 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunPreservesTaskOrder(t *testing.T) {
+	// Later tasks finish first on purpose; errors must still land at their
+	// own indices.
+	const n = 20
+	var ran atomic.Int32
+	tasks := make([]func() error, n)
+	errOdd := errors.New("odd")
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func() error {
+			time.Sleep(time.Duration(n-i) * time.Millisecond / 4)
+			ran.Add(1)
+			if i%2 == 1 {
+				return errOdd
+			}
+			return nil
+		}
+	}
+	errs := Run(4, tasks)
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d of %d tasks", got, n)
+	}
+	for i, err := range errs {
+		if (i%2 == 1) != (err != nil) {
+			t.Fatalf("task %d: unexpected error state %v", i, err)
+		}
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	errs := Run(2, []func() error{
+		func() error { panic("boom") },
+		func() error { return nil },
+	})
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "boom") {
+		t.Fatalf("panic not converted to error: %v", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("healthy task failed: %v", errs[1])
+	}
+}
+
+func TestMapKeepsItemOrder(t *testing.T) {
+	items := []int{5, 4, 3, 2, 1, 0}
+	out, err := Map(3, items, func(i, v int) (int, error) {
+		time.Sleep(time.Duration(v) * time.Millisecond)
+		return v * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range items {
+		if out[i] != v*10 {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], v*10)
+		}
+	}
+}
+
+func TestGridExpandOrderAndDefaults(t *testing.T) {
+	g := Grid{
+		Workloads: []Workload{
+			{Kind: KindStochastic, Dist: "uniform", Cores: 2},
+			{Kind: KindStochastic, Dist: "bursty", Cores: 2},
+		},
+		Fabrics: []Fabric{{Interconnect: FabricAMBA}, {Interconnect: FabricXPipes}},
+	}
+	pts := g.Expand()
+	if len(pts) != 4 {
+		t.Fatalf("expanded %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if p.ID != i {
+			t.Fatalf("point %d has ID %d", i, p.ID)
+		}
+		if p.ClockPeriodNS != 5 || p.Seed != 1 {
+			t.Fatalf("defaults not applied: %+v", p)
+		}
+	}
+	// workload-major nesting
+	if pts[0].Workload.Dist != "uniform" || pts[1].Workload.Dist != "uniform" ||
+		pts[2].Workload.Dist != "bursty" {
+		t.Fatalf("unexpected nesting order: %+v", pts)
+	}
+	if pts[0].Fabric.Interconnect != FabricAMBA || pts[1].Fabric.Interconnect != FabricXPipes {
+		t.Fatalf("fabric should be the inner axis: %+v", pts)
+	}
+}
+
+func TestGridValidateRejectsBadAxes(t *testing.T) {
+	cases := []Grid{
+		{},
+		{Workloads: []Workload{{Kind: "nope"}}, Fabrics: []Fabric{{Interconnect: FabricAMBA}}},
+		{Workloads: []Workload{{Kind: KindTG, Bench: "unknown", Cores: 2, Size: 4}},
+			Fabrics: []Fabric{{Interconnect: FabricAMBA}}},
+		{Workloads: []Workload{{Kind: KindStochastic, Dist: "uniform", Cores: 2}},
+			Fabrics: []Fabric{{Interconnect: "token-ring"}}},
+		{Workloads: []Workload{{Kind: KindStochastic, Dist: "weibull", Cores: 2}},
+			Fabrics: []Fabric{{Interconnect: FabricAMBA}}},
+		// Out-of-range benchmark sizes panic inside the prog constructors;
+		// Validate must return an error, not crash.
+		{Workloads: []Workload{{Kind: KindTG, Bench: "cacheloop", Cores: 0, Size: 100}},
+			Fabrics: []Fabric{{Interconnect: FabricAMBA}}},
+		{Workloads: []Workload{{Kind: KindTG, Bench: "spmatrix", Cores: 1, Size: 1}},
+			Fabrics: []Fabric{{Interconnect: FabricAMBA}}},
+		// A zero clock period would silently fall back to 5 ns inside the
+		// engine while the artifact still reports 0.
+		{Workloads: []Workload{{Kind: KindStochastic, Dist: "uniform", Cores: 2}},
+			Fabrics:        []Fabric{{Interconnect: FabricAMBA}},
+			ClockPeriodsNS: []uint64{0}},
+	}
+	for i, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("case %d: bad grid validated", i)
+		}
+	}
+}
+
+func TestPartialMeshDimensionFailsCleanly(t *testing.T) {
+	// Only one mesh dimension given: the other defaults inside noc, and the
+	// capacity check must apply to the effective geometry — a 4x(default 3)
+	// mesh cannot hold 5 cores + 7 slaves.
+	g := Grid{
+		Workloads: []Workload{{Kind: KindStochastic, Dist: "uniform", Cores: 5, Count: 50}},
+		Fabrics:   []Fabric{{Interconnect: FabricXPipes, MeshWidth: 4}},
+	}
+	res, err := Runner{Workers: 1}.RunGrid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err == "" || !strings.Contains(res[0].Err, "too small") {
+		t.Fatalf("want a clean mesh-too-small error, got %q", res[0].Err)
+	}
+}
+
+func TestParseGridRejectsUnknownFields(t *testing.T) {
+	_, err := ParseGrid(strings.NewReader(`{"workloads":[],"fabrics":[],"typo_field":1}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestParseGridRoundTrip(t *testing.T) {
+	in := `{
+  "workloads": [{"kind": "stochastic", "dist": "poisson", "cores": 2, "count": 100}],
+  "fabrics": [{"interconnect": "xpipes", "mesh_width": 4, "mesh_height": 2, "buffer_flits": 2}],
+  "clock_periods_ns": [5, 10],
+  "seeds": [1, 2]
+}`
+	g, err := ParseGrid(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := g.Expand(); len(pts) != 4 {
+		t.Fatalf("expanded %d points, want 4", len(pts))
+	}
+}
+
+// testGrid is a fast ≥16-point grid mixing TG and stochastic workloads on
+// both fabrics.
+func testGrid() Grid {
+	return Grid{
+		Workloads: []Workload{
+			{Kind: KindTG, Bench: "mpmatrix", Cores: 2, Size: 8},
+			{Kind: KindTG, Bench: "cacheloop", Cores: 2, Size: 300},
+			{Kind: KindStochastic, Dist: "uniform", Cores: 2, MeanGap: 6, Count: 200},
+			{Kind: KindStochastic, Dist: "bursty", Cores: 2, MeanGap: 6, Count: 200},
+		},
+		Fabrics: []Fabric{
+			{Interconnect: FabricAMBA},
+			{Interconnect: FabricAMBA, MemWaitStates: 4},
+			{Interconnect: FabricXPipes, MeshWidth: 4, MeshHeight: 2, BufferFlits: 2},
+			{Interconnect: FabricXPipes, MeshWidth: 4, MeshHeight: 2, BufferFlits: 8},
+		},
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the package's core contract:
+// the same grid produces byte-identical JSON and CSV artifacts with one
+// worker and with eight.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := testGrid()
+	render := func(workers int) (string, string) {
+		t.Helper()
+		res, err := Runner{Workers: workers}.RunGrid(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := WriteJSON(&j, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&c, res); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := render(1)
+	j8, c8 := render(8)
+	if j1 != j8 {
+		t.Fatalf("JSON differs between -workers=1 and -workers=8:\n%s\n---\n%s", j1, j8)
+	}
+	if c1 != c8 {
+		t.Fatalf("CSV differs between -workers=1 and -workers=8:\n%s\n---\n%s", c1, c8)
+	}
+}
+
+func TestSweepResultsPopulated(t *testing.T) {
+	res, err := Runner{Workers: 8}.RunGrid(testGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 16 {
+		t.Fatalf("got %d results, want 16", len(res))
+	}
+	for _, r := range res {
+		if r.Err != "" {
+			t.Fatalf("point %d (%s @ %s) failed: %s", r.ID, r.Workload, r.Fabric, r.Err)
+		}
+		if r.MakespanCycles == 0 || r.Transactions == 0 || r.Reads == 0 {
+			t.Fatalf("point %d (%s @ %s) missing metrics: %+v", r.ID, r.Workload, r.Fabric, r)
+		}
+		if r.MakespanNS != r.MakespanCycles*r.ClockPeriodNS {
+			t.Fatalf("point %d: makespan_ns %d != cycles %d × period %d",
+				r.ID, r.MakespanNS, r.MakespanCycles, r.ClockPeriodNS)
+		}
+		if strings.HasPrefix(r.Fabric, FabricXPipes) && r.FlitsRouted == 0 {
+			t.Fatalf("point %d on %s routed no flits", r.ID, r.Fabric)
+		}
+		if r.Fabric == FabricAMBA && r.BusBusyCycles == 0 {
+			t.Fatalf("point %d on amba shows idle bus", r.ID)
+		}
+	}
+	// Deeper buffers must not slow the mesh down for the same workload.
+	byLabel := map[string]Result{}
+	for _, r := range res {
+		byLabel[r.Workload+"@"+r.Fabric] = r
+	}
+	shallow := byLabel["mpmatrix/2P/8@xpipes-4x2-buf2"]
+	deep := byLabel["mpmatrix/2P/8@xpipes-4x2-buf8"]
+	if shallow.MakespanCycles == 0 || deep.MakespanCycles == 0 {
+		t.Fatalf("missing mesh variants: %v", byLabel)
+	}
+	if deep.MakespanCycles > shallow.MakespanCycles {
+		t.Fatalf("deep buffers slower than shallow: %d vs %d cycles",
+			deep.MakespanCycles, shallow.MakespanCycles)
+	}
+}
+
+func TestRunnerClockPlumbing(t *testing.T) {
+	g := Grid{
+		Workloads: []Workload{
+			{Kind: KindStochastic, Dist: "poisson", Cores: 2, MeanGap: 6, Count: 100},
+		},
+		Fabrics:        []Fabric{{Interconnect: FabricAMBA}},
+		ClockPeriodsNS: []uint64{5, 10},
+	}
+	res, err := Runner{Workers: 2}.RunGrid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// Same seed, same fabric: identical cycle behaviour, scaled sim time.
+	if res[0].MakespanCycles != res[1].MakespanCycles {
+		t.Fatalf("clock period changed cycle behaviour: %d vs %d",
+			res[0].MakespanCycles, res[1].MakespanCycles)
+	}
+	if res[1].MakespanNS != 2*res[0].MakespanNS {
+		t.Fatalf("10 ns run should cover twice the sim time: %d vs %d ns",
+			res[1].MakespanNS, res[0].MakespanNS)
+	}
+}
+
+func TestRunRecordsPointFailure(t *testing.T) {
+	// A mesh too small for the cores+slaves must fail that point only.
+	g := Grid{
+		Workloads: []Workload{
+			{Kind: KindStochastic, Dist: "uniform", Cores: 2, Count: 50},
+			{Kind: KindStochastic, Dist: "uniform", Cores: 4, Count: 50},
+		},
+		Fabrics: []Fabric{{Interconnect: FabricXPipes, MeshWidth: 4, MeshHeight: 2}},
+	}
+	res, err := Runner{Workers: 2}.RunGrid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != "" {
+		t.Fatalf("2-core point should fit a 4x2 mesh: %s", res[0].Err)
+	}
+	if res[1].Err == "" {
+		t.Fatal("4-core point cannot fit a 4x2 mesh, expected a recorded error")
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and write a dated JSON baseline
+# artifact (bench/BENCH_<date>.json) plus the raw text output, starting the
+# performance trajectory that CI uploads on every run.
+#
+# Usage: scripts/bench.sh [benchtime]
+#   benchtime defaults to 1x (a smoke pass); use e.g. 100ms locally for
+#   steadier numbers.
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-1x}"
+stamp="$(date -u +%Y%m%d)"
+mkdir -p bench
+
+raw="bench/BENCH_${stamp}.txt"
+json="bench/BENCH_${stamp}.json"
+
+go test -run='^$' -bench=. -benchtime="$benchtime" ./... | tee "$raw"
+go run ./scripts/bench2json "$raw" > "$json"
+echo "wrote $json" >&2
