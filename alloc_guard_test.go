@@ -1,0 +1,63 @@
+// Zero-allocation guards for the kernel and transaction hot paths: CI runs
+// these as ordinary tests, so a regression that reintroduces per-cycle or
+// per-transaction allocation fails the build rather than only drifting a
+// benchmark number.
+//
+// The guards measure with testing.AllocsPerRun over thousands of cycles,
+// so even sub-1-alloc/op leaks (which integer allocs/op rounding hides in
+// benchmark output) are caught. They are skipped under the race detector,
+// whose instrumentation allocates on its own.
+
+//go:build !race
+
+package noctg_test
+
+import (
+	"testing"
+
+	"noctg/internal/core"
+	"noctg/internal/platform"
+	"noctg/internal/sim"
+)
+
+func TestZeroAllocEngineTick(t *testing.T) {
+	e := sim.NewEngine(sim.Clock{})
+	n := 0
+	for i := 0; i < 16; i++ {
+		e.Add(sim.DeviceFunc(func(uint64) { n++ }))
+	}
+	if avg := testing.AllocsPerRun(10, func() { e.RunFor(1000) }); avg != 0 {
+		t.Fatalf("Engine tick loop allocates %.2f allocs per 1000 cycles; the kernel must be allocation-free", avg)
+	}
+}
+
+func TestZeroAllocTGDeviceIdleTick(t *testing.T) {
+	p, err := core.Assemble("MASTER[0,0]\nBEGIN\nstart:\nIdle(1000000)\nJump(start)\nEND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDevice(p, idlePort{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := uint64(0)
+	if avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 1000; i++ {
+			d.Tick(cycle)
+			cycle++
+		}
+	}); avg != 0 {
+		t.Fatalf("TG device idle tick allocates %.2f allocs per 1000 cycles", avg)
+	}
+}
+
+func TestZeroAllocTransactionPath(t *testing.T) {
+	for _, ic := range []platform.Interconnect{platform.AMBA, platform.XPipes} {
+		sys := newTransactionSystem(t, ic)
+		// Warm the reusable buffers and pools, then demand exact zero.
+		sys.Engine.RunFor(4096)
+		if avg := testing.AllocsPerRun(5, func() { sys.Engine.RunFor(10_000) }); avg != 0 {
+			t.Errorf("%v: steady-state transaction path allocates %.2f allocs per 10k cycles", ic, avg)
+		}
+	}
+}

@@ -90,6 +90,8 @@ type (
 	CacheConfig = cache.Config
 	// Interconnect selects the fabric (AMBA or XPipes).
 	Interconnect = platform.Interconnect
+	// KernelMode selects the simulation kernel (strict or idle-skipping).
+	KernelMode = platform.KernelMode
 )
 
 // Interconnect kinds.
@@ -99,6 +101,20 @@ const (
 	// XPipes is the packet-switched mesh NoC.
 	XPipes = platform.XPipes
 )
+
+// Simulation kernels.
+const (
+	// KernelAuto picks skip for TG replay and strict for ARM reference runs.
+	KernelAuto = platform.KernelAuto
+	// KernelStrict ticks every device on every cycle.
+	KernelStrict = platform.KernelStrict
+	// KernelSkip fast-forwards over cycles in which every device sleeps;
+	// simulated results are identical to strict runs.
+	KernelSkip = platform.KernelSkip
+)
+
+// ParseKernel converts a "-kernel" style string into a KernelMode.
+var ParseKernel = platform.ParseKernel
 
 // Benchmark and experiment types.
 type (

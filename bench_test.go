@@ -54,6 +54,7 @@ func benchARM(b *testing.B, spec *prog.Spec) {
 	}
 	opt := exp.DefaultOptions()
 	var makespan uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := opt.Platform
@@ -71,7 +72,11 @@ func benchARM(b *testing.B, spec *prog.Spec) {
 	reportSimSpeed(b, makespan)
 }
 
-func benchTG(b *testing.B, spec *prog.Spec) {
+// benchTG replays a translated benchmark on the given kernel. The legacy
+// BenchmarkTable2*TG names pin the strict kernel so their Msimcycles/s stay
+// comparable with the recorded BENCH_*.json baselines; the *TGSkip variants
+// measure the idle-skipping kernel against them.
+func benchTG(b *testing.B, spec *prog.Spec, kernel platform.KernelMode) {
 	b.Helper()
 	ref, err := exp.RunReference(spec, exp.DefaultOptions(), true)
 	if err != nil {
@@ -83,10 +88,12 @@ func benchTG(b *testing.B, spec *prog.Spec) {
 		b.Fatal(err)
 	}
 	var makespan uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := exp.DefaultOptions().Platform
 		cfg.Cores = spec.Cores
+		cfg.Kernel = kernel
 		sys, err := platform.BuildTG(cfg, progs)
 		if err != nil {
 			b.Fatal(err)
@@ -111,7 +118,12 @@ func reportSimSpeed(b *testing.B, makespan uint64) {
 // --- Table 2 ---
 
 func BenchmarkTable2SPMatrixARM(b *testing.B) { benchARM(b, prog.SPMatrix(benchSPMatrixN)) }
-func BenchmarkTable2SPMatrixTG(b *testing.B)  { benchTG(b, prog.SPMatrix(benchSPMatrixN)) }
+func BenchmarkTable2SPMatrixTG(b *testing.B) {
+	benchTG(b, prog.SPMatrix(benchSPMatrixN), platform.KernelStrict)
+}
+func BenchmarkTable2SPMatrixTGSkip(b *testing.B) {
+	benchTG(b, prog.SPMatrix(benchSPMatrixN), platform.KernelSkip)
+}
 
 func BenchmarkTable2CacheloopARM(b *testing.B) {
 	for _, p := range []int{2, 4, 8, 12} {
@@ -121,7 +133,17 @@ func BenchmarkTable2CacheloopARM(b *testing.B) {
 
 func BenchmarkTable2CacheloopTG(b *testing.B) {
 	for _, p := range []int{2, 4, 8, 12} {
-		b.Run(coresName(p), func(b *testing.B) { benchTG(b, prog.Cacheloop(p, benchCacheIters)) })
+		b.Run(coresName(p), func(b *testing.B) {
+			benchTG(b, prog.Cacheloop(p, benchCacheIters), platform.KernelStrict)
+		})
+	}
+}
+
+func BenchmarkTable2CacheloopTGSkip(b *testing.B) {
+	for _, p := range []int{2, 4, 8, 12} {
+		b.Run(coresName(p), func(b *testing.B) {
+			benchTG(b, prog.Cacheloop(p, benchCacheIters), platform.KernelSkip)
+		})
 	}
 }
 
@@ -133,7 +155,17 @@ func BenchmarkTable2MPMatrixARM(b *testing.B) {
 
 func BenchmarkTable2MPMatrixTG(b *testing.B) {
 	for _, p := range []int{2, 4, 8, 12} {
-		b.Run(coresName(p), func(b *testing.B) { benchTG(b, prog.MPMatrix(p, benchMPMatrixN)) })
+		b.Run(coresName(p), func(b *testing.B) {
+			benchTG(b, prog.MPMatrix(p, benchMPMatrixN), platform.KernelStrict)
+		})
+	}
+}
+
+func BenchmarkTable2MPMatrixTGSkip(b *testing.B) {
+	for _, p := range []int{2, 4, 8, 12} {
+		b.Run(coresName(p), func(b *testing.B) {
+			benchTG(b, prog.MPMatrix(p, benchMPMatrixN), platform.KernelSkip)
+		})
 	}
 }
 
@@ -145,14 +177,27 @@ func BenchmarkTable2DESARM(b *testing.B) {
 
 func BenchmarkTable2DESTG(b *testing.B) {
 	for _, p := range []int{3, 6, 12} {
-		b.Run(coresName(p), func(b *testing.B) { benchTG(b, prog.DES(p, benchDESBlocks)) })
+		b.Run(coresName(p), func(b *testing.B) {
+			benchTG(b, prog.DES(p, benchDESBlocks), platform.KernelStrict)
+		})
+	}
+}
+
+func BenchmarkTable2DESTGSkip(b *testing.B) {
+	for _, p := range []int{3, 6, 12} {
+		b.Run(coresName(p), func(b *testing.B) {
+			benchTG(b, prog.DES(p, benchDESBlocks), platform.KernelSkip)
+		})
 	}
 }
 
 func coresName(p int) string { return fmt.Sprintf("%dP", p) }
 
 func BenchmarkPipelineARM(b *testing.B) { benchARM(b, prog.Pipeline(4, 16)) }
-func BenchmarkPipelineTG(b *testing.B)  { benchTG(b, prog.Pipeline(4, 16)) }
+func BenchmarkPipelineTG(b *testing.B)  { benchTG(b, prog.Pipeline(4, 16), platform.KernelStrict) }
+func BenchmarkPipelineTGSkip(b *testing.B) {
+	benchTG(b, prog.Pipeline(4, 16), platform.KernelSkip)
+}
 
 // --- Figure 2(a): private-slave transaction pattern ---
 
@@ -288,14 +333,22 @@ func BenchmarkTraceOverheadSerialize(b *testing.B) {
 // --- §6: cross-interconnect replay ---
 
 func BenchmarkCrossInterconnectTGOnAMBA(b *testing.B) {
-	benchTGOnFabric(b, platform.AMBA)
+	benchTGOnFabric(b, platform.AMBA, platform.KernelStrict)
 }
 
 func BenchmarkCrossInterconnectTGOnXPipes(b *testing.B) {
-	benchTGOnFabric(b, platform.XPipes)
+	benchTGOnFabric(b, platform.XPipes, platform.KernelStrict)
 }
 
-func benchTGOnFabric(b *testing.B, ic platform.Interconnect) {
+func BenchmarkCrossInterconnectTGOnAMBASkip(b *testing.B) {
+	benchTGOnFabric(b, platform.AMBA, platform.KernelSkip)
+}
+
+func BenchmarkCrossInterconnectTGOnXPipesSkip(b *testing.B) {
+	benchTGOnFabric(b, platform.XPipes, platform.KernelSkip)
+}
+
+func benchTGOnFabric(b *testing.B, ic platform.Interconnect, kernel platform.KernelMode) {
 	b.Helper()
 	spec := prog.MPMatrix(4, benchMPMatrixN)
 	ref, err := exp.RunReference(spec, exp.DefaultOptions(), true)
@@ -308,9 +361,10 @@ func benchTGOnFabric(b *testing.B, ic platform.Interconnect) {
 		b.Fatal(err)
 	}
 	var makespan uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cfg := platform.Config{Cores: spec.Cores, Interconnect: ic}
+		cfg := platform.Config{Cores: spec.Cores, Interconnect: ic, Kernel: kernel}
 		sys, err := platform.BuildTG(cfg, progs)
 		if err != nil {
 			b.Fatal(err)
@@ -478,9 +532,47 @@ func BenchmarkEngineTick(b *testing.B) {
 	for i := 0; i < 16; i++ {
 		e.Add(sim.DeviceFunc(func(uint64) { n++ }))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step()
+	}
+}
+
+// BenchmarkEngineSkipIdle measures the skip kernel against strict ticking
+// on the workload it targets: TGs sleeping through deep Idle gaps over a
+// quiescent bus. The strict/skip Msimcycles/s ratio is the kernel speedup.
+func BenchmarkEngineSkipIdle(b *testing.B) {
+	src := "MASTER[0,0]\nBEGIN\nstart:\nIdle(100000)\nJump(start)\nIdle(100000)\nHalt\nEND"
+	for _, kernel := range []sim.Kernel{sim.KernelStrict, sim.KernelSkip} {
+		b.Run(kernel.String(), func(b *testing.B) {
+			const span = 1_000_000 // simulated cycles per iteration
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := sim.NewEngine(sim.Clock{})
+				e.SetKernel(kernel)
+				bus := amba.New(amba.Config{}, e.Cycle)
+				newBenchRAM(b, bus)
+				for c := 0; c < 2; c++ {
+					p, err := core.Assemble(src)
+					if err != nil {
+						b.Fatal(err)
+					}
+					d, err := core.NewDevice(p, bus.NewMasterPort())
+					if err != nil {
+						b.Fatal(err)
+					}
+					e.Add(d)
+				}
+				e.Add(bus)
+				if _, err := e.Run(span, func() bool { return false }); err == nil {
+					b.Fatal("idle loop should exhaust the cycle budget")
+				}
+			}
+			b.StopTimer()
+			reportSimSpeed(b, span)
+		})
 	}
 }
 
@@ -493,9 +585,60 @@ func BenchmarkTGDeviceIdleTick(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Tick(uint64(i))
+	}
+}
+
+// newTransactionSystem builds the 2-TG platform the transaction-path
+// benchmark and the zero-alloc guard tests drive: an endless loop of
+// single-word writes, blocking reads and bursts, so every hot path of the
+// fabric is exercised.
+func newTransactionSystem(tb testing.TB, ic platform.Interconnect) *platform.System {
+	tb.Helper()
+	src := `MASTER[0,0]
+REGISTER addr 0x08000000
+REGISTER data 42
+BEGIN
+start:
+	Write(addr, data)
+	Read(addr)
+	BurstWrite(addr, data, 4)
+	BurstRead(addr, 4)
+	Jump(start)
+END`
+	progs := make([]*core.Program, 2)
+	for i := range progs {
+		p, err := core.Assemble(src)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		progs[i] = p
+	}
+	sys, err := platform.BuildTG(platform.Config{Cores: 2, Interconnect: ic}, progs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkTransactionPath drives the full master→fabric→slave transaction
+// loop and reports allocs/op: the steady-state hot path must not allocate
+// (TestZeroAllocTransactionPath enforces this precisely).
+func BenchmarkTransactionPath(b *testing.B) {
+	for _, ic := range []platform.Interconnect{platform.AMBA, platform.XPipes} {
+		b.Run(ic.String(), func(b *testing.B) {
+			sys := newTransactionSystem(b, ic)
+			// Warm the reusable buffers and pools before measuring.
+			sys.Engine.RunFor(4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Engine.Step()
+			}
+		})
 	}
 }
 

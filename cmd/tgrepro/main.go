@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"noctg/internal/exp"
+	"noctg/internal/platform"
 	"noctg/internal/sweep"
 )
 
@@ -34,8 +35,11 @@ func main() {
 		all        = flag.Bool("all", false, "run every experiment")
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes: quick or default")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = all host cores)")
+		kernelFlag = flag.String("kernel", "auto", "TG-replay simulation kernel: auto (skip), strict or skip; ARM reference runs always tick strictly")
 	)
 	flag.Parse()
+	kernel, err := platform.ParseKernel(*kernelFlag)
+	fail(err)
 	sel := sweep.PaperSelect{
 		Table2:     *table2 || *all,
 		CrossCheck: *crosscheck || *all,
@@ -55,7 +59,9 @@ func main() {
 	if *workers != 1 && (sel.Table2 || sel.Overhead) {
 		fmt.Fprintln(os.Stderr, "tgrepro:", sweep.TimingCaveat)
 	}
-	res, err := sweep.RunPaperSelect(sizes, exp.DefaultOptions(), *workers, sel)
+	opt := exp.DefaultOptions()
+	opt.Platform.Kernel = kernel
+	res, err := sweep.RunPaperSelect(sizes, opt, *workers, sel)
 	fail(err)
 	sweep.FormatPaper(os.Stdout, res, sel)
 }

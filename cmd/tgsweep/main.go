@@ -7,12 +7,20 @@
 // Usage:
 //
 //	tgsweep [-workers N] [-grid FILE|default] [-out BASE|-] [-maxcycles N]
+//	        [-kernel auto|strict|skip] [-cpuprofile FILE] [-memprofile FILE]
 //	tgsweep -print-grid            # dump the default grid as a template
 //	tgsweep -paper [-sizes quick|default] [-workers N]
 //
 // With -paper, the paper's full evaluation (Table 2, the cross-interconnect
 // .tgp check, the overhead measurement, the ablations and the Figure 2
 // experiments) runs as one parallel invocation instead of a grid sweep.
+//
+// -kernel selects the simulation kernel for replay runs: "skip" (the
+// default via "auto") fast-forwards over cycles in which every device
+// sleeps, "strict" ticks every cycle. Both produce byte-identical
+// artifacts; strict exists for cross-checking and for timing experiments
+// that must not benefit from kernel tricks. -cpuprofile/-memprofile write
+// pprof profiles of the sweep so performance work needs no code edits.
 package main
 
 import (
@@ -20,23 +28,50 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"noctg/internal/exp"
+	"noctg/internal/platform"
 	"noctg/internal/sweep"
 )
 
 func main() {
 	var (
-		workers   = flag.Int("workers", 0, "worker pool size (0 = all host cores)")
-		gridPath  = flag.String("grid", "default", "grid JSON file, or \"default\" for the stock 16-point sweep")
-		out       = flag.String("out", "results", "output basename (<out>.json and <out>.csv), or \"-\" for JSON on stdout")
-		maxCycles = flag.Uint64("maxcycles", 0, "override the per-run simulated-cycle budget")
-		printGrid = flag.Bool("print-grid", false, "print the default grid JSON and exit")
-		paper     = flag.Bool("paper", false, "run the paper's experiments as one parallel invocation")
-		sizesFlag = flag.String("sizes", "default", "benchmark sizes for -paper: quick or default")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = all host cores)")
+		gridPath   = flag.String("grid", "default", "grid JSON file, or \"default\" for the stock 16-point sweep")
+		out        = flag.String("out", "results", "output basename (<out>.json and <out>.csv), or \"-\" for JSON on stdout")
+		maxCycles  = flag.Uint64("maxcycles", 0, "override the per-run simulated-cycle budget")
+		printGrid  = flag.Bool("print-grid", false, "print the default grid JSON and exit")
+		paper      = flag.Bool("paper", false, "run the paper's experiments as one parallel invocation")
+		sizesFlag  = flag.String("sizes", "default", "benchmark sizes for -paper: quick or default")
+		kernelFlag = flag.String("kernel", "auto", "simulation kernel: auto (skip for replay), strict or skip")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	kernel, err := platform.ParseKernel(*kernelFlag)
+	fail(err)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// Profiles are written on the success path only: fail() exits the
+		// process without running defers.
+		defer func() {
+			f, err := os.Create(*memProf)
+			fail(err)
+			runtime.GC()
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+		}()
+	}
 
 	if *printGrid {
 		g := sweep.DefaultGrid()
@@ -46,7 +81,7 @@ func main() {
 		return
 	}
 	if *paper {
-		runPaper(*sizesFlag, *workers)
+		runPaper(*sizesFlag, *workers, kernel)
 		return
 	}
 
@@ -62,7 +97,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "tgsweep: %d configurations, %d workers\n", len(points), *workers)
 
 	start := time.Now()
-	results, err := sweep.Runner{Workers: *workers, MaxCycles: *maxCycles}.Run(points)
+	results, err := sweep.Runner{Workers: *workers, MaxCycles: *maxCycles, Kernel: kernel}.Run(points)
 	fail(err)
 	wall := time.Since(start)
 
@@ -91,8 +126,9 @@ func main() {
 }
 
 // runPaper executes the whole evaluation in parallel and prints the same
-// reports as the sequential tgrepro harness.
-func runPaper(sizesFlag string, workers int) {
+// reports as the sequential tgrepro harness. The kernel selection applies
+// to TG-replay runs only; ARM reference runs always tick strictly.
+func runPaper(sizesFlag string, workers int, kernel platform.KernelMode) {
 	sizes := exp.DefaultSizes()
 	if sizesFlag == "quick" {
 		sizes = exp.QuickSizes()
@@ -100,8 +136,10 @@ func runPaper(sizesFlag string, workers int) {
 	if workers != 1 {
 		fmt.Fprintln(os.Stderr, "tgsweep:", sweep.TimingCaveat)
 	}
+	opt := exp.DefaultOptions()
+	opt.Platform.Kernel = kernel
 	start := time.Now()
-	res, err := sweep.RunPaper(sizes, exp.DefaultOptions(), workers)
+	res, err := sweep.RunPaper(sizes, opt, workers)
 	fail(err)
 	sweep.FormatPaper(os.Stdout, res, sweep.AllPaper())
 	fmt.Fprintf(os.Stderr, "tgsweep: paper evaluation in %v\n", time.Since(start).Round(time.Millisecond))

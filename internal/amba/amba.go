@@ -107,6 +107,10 @@ type port struct {
 	resp     ocp.Response
 	respAt   uint64
 	hasResp  bool
+	// respBuf is the port-owned read-data buffer reused across
+	// transactions: each port has at most one outstanding read, so the
+	// previous response is always consumed before the buffer is refilled.
+	respBuf []uint32
 }
 
 // TryRequest implements ocp.MasterPort.
@@ -136,15 +140,16 @@ func (p *port) TryRequest(req *ocp.Request) bool {
 	return false
 }
 
-// TakeResponse implements ocp.MasterPort.
+// TakeResponse implements ocp.MasterPort. The returned response is backed
+// by port-owned storage that the next transaction reuses (see the
+// ocp.MasterPort contract).
 func (p *port) TakeResponse() (*ocp.Response, bool) {
 	if !p.hasResp || p.bus.now() < p.respAt {
 		return nil, false
 	}
 	p.hasResp = false
 	p.busyRead = false
-	resp := p.resp
-	return &resp, true
+	return &p.resp, true
 }
 
 // Busy implements ocp.MasterPort.
@@ -166,8 +171,22 @@ type Bus struct {
 	now      func() uint64
 	ports    []*port
 	bindings []binding
-	active   *activeTxn
 	rrNext   int
+
+	// active is the single in-flight transaction, reused across grants so
+	// the arbitration hot path performs no allocation. activeData holds a
+	// bus-owned copy of the write payload, taken at grant time so masters
+	// may reuse their request buffers as soon as a request is accepted.
+	active     activeTxn
+	hasActive  bool
+	activeData []uint32
+
+	// lastTick supports the skip kernel's cycle jumps: a gap between
+	// consecutive Tick cycles is credited to the busy/idle counters in bulk
+	// (skipped cycles are, by the Sleeper contract, cycles in which the
+	// bus's occupancy state could not change).
+	lastTick uint64
+	ticked   bool
 
 	// Stats
 	Counters   sim.Counters
@@ -216,10 +235,34 @@ func (b *Bus) MapSlave(slave ocp.Slave, rng ocp.AddrRange) error {
 func (b *Bus) Masters() int { return len(b.ports) }
 
 // BusyCycles returns how many cycles the bus spent occupied by a transfer.
-func (b *Bus) BusyCycles() uint64 { return b.busyCycles }
+func (b *Bus) BusyCycles() uint64 {
+	busy, _ := b.pendingGap()
+	return b.busyCycles + busy
+}
 
 // IdleCycles returns how many cycles the bus had no requester.
-func (b *Bus) IdleCycles() uint64 { return b.idleCycles }
+func (b *Bus) IdleCycles() uint64 {
+	_, idle := b.pendingGap()
+	return b.idleCycles + idle
+}
+
+// pendingGap returns the busy/idle credit for cycles the skip kernel
+// jumped over since the bus's last Tick. Tick folds such gaps into the
+// counters itself, but a run that ends on a skip jump is never followed by
+// another Tick, so the getters account the tail on the fly (the bus state
+// was frozen across the gap, making the attribution unambiguous).
+func (b *Bus) pendingGap() (busy, idle uint64) {
+	if !b.ticked {
+		return 0, 0
+	}
+	if last := b.now() - 1; last > b.lastTick {
+		if b.hasActive {
+			return last - b.lastTick, 0
+		}
+		return 0, last - b.lastTick
+	}
+	return 0, 0
+}
 
 // TotalGrants returns the number of accepted transactions.
 func (b *Bus) TotalGrants() uint64 { return b.grantCount }
@@ -228,7 +271,7 @@ func (b *Bus) TotalGrants() uint64 { return b.grantCount }
 // no response is pending — i.e. all posted writes have drained. Platforms
 // use this as part of their termination condition.
 func (b *Bus) Idle() bool {
-	if b.active != nil {
+	if b.hasActive {
 		return false
 	}
 	for _, p := range b.ports {
@@ -237,6 +280,25 @@ func (b *Bus) Idle() bool {
 		}
 	}
 	return true
+}
+
+// NextWake implements sim.Sleeper. A fully idle bus is quiescent until a
+// master presents a request (and that master, being active, keeps the
+// engine ticking). While a transfer occupies the bus, the in-flight horizon
+// is its completion cycle — but any master that is requesting, blocked on a
+// response or mid-handshake reports its own wake of "now", so the bus only
+// ever skips the drain tail of posted writes.
+func (b *Bus) NextWake(now uint64) uint64 {
+	if b.hasActive {
+		if b.active.done > now {
+			return b.active.done
+		}
+		return now
+	}
+	if b.Idle() {
+		return sim.WakeNever
+	}
+	return now
 }
 
 func (b *Bus) decode(addr uint32) *binding {
@@ -250,13 +312,27 @@ func (b *Bus) decode(addr uint32) *binding {
 
 // Tick implements sim.Device.
 func (b *Bus) Tick(cycle uint64) {
-	if b.active != nil {
+	// Credit skipped cycles (skip kernel jumps) to the occupancy counters:
+	// a skip can only span cycles in which the bus state was frozen, so the
+	// whole gap was uniformly busy (posted-write drain) or uniformly idle.
+	if b.ticked && cycle > b.lastTick+1 {
+		gap := cycle - b.lastTick - 1
+		if b.hasActive {
+			b.busyCycles += gap
+		} else {
+			b.idleCycles += gap
+		}
+	}
+	b.lastTick = cycle
+	b.ticked = true
+
+	if b.hasActive {
 		b.busyCycles++
 		if cycle >= b.active.done {
 			b.complete(cycle)
 		}
 	}
-	if b.active == nil {
+	if !b.hasActive {
 		if b.requesting > 0 {
 			b.arbitrate(cycle)
 		} else {
@@ -274,14 +350,14 @@ func (b *Bus) Tick(cycle uint64) {
 }
 
 func (b *Bus) complete(cycle uint64) {
-	t := b.active
-	b.active = nil
+	t := &b.active
+	b.hasActive = false
 	var resp ocp.Response
 	if t.bind == nil {
 		resp = ocp.Response{Err: true}
 		b.Counters.Inc("decode_errors")
 	} else {
-		resp = t.bind.slave.Perform(&t.req)
+		resp, t.port.respBuf = ocp.PerformBuffered(t.bind.slave, &t.req, t.port.respBuf)
 		if resp.Err {
 			b.Counters.Inc("slave_errors")
 		}
@@ -330,14 +406,24 @@ func (b *Bus) arbitrate(cycle uint64) {
 	b.Grants[winner]++
 	b.grantCount++
 
-	req := p.req
-	bind := b.decode(req.Addr)
+	// Latch the transaction into the bus-owned slot, copying the write
+	// payload: from here on the master may reuse its request buffer.
+	b.active.port = p
+	b.active.req = p.req
+	if len(p.req.Data) > 0 {
+		b.activeData = append(b.activeData[:0], p.req.Data...)
+		b.active.req.Data = b.activeData
+	}
+	bind := b.decode(b.active.req.Addr)
+	b.active.bind = bind
 	var access uint64
 	if bind != nil {
-		access = bind.slave.AccessCycles(&req)
+		access = bind.slave.AccessCycles(&b.active.req)
 	}
-	occupancy := b.cfg.AddrCycles + uint64(req.Burst)*b.cfg.BeatCycles + access
-	b.active = &activeTxn{port: p, req: req, bind: bind, done: cycle + occupancy}
+	occupancy := b.cfg.AddrCycles + uint64(b.active.req.Burst)*b.cfg.BeatCycles + access
+	b.active.done = cycle + occupancy
+	b.hasActive = true
 }
 
 var _ sim.Device = (*Bus)(nil)
+var _ sim.Sleeper = (*Bus)(nil)

@@ -50,6 +50,7 @@ type MemUnit struct {
 	stData  uint32
 	cached  bool
 	req     ocp.Request
+	stBuf   [1]uint32 // reusable posted-write payload (copied at acceptance)
 	result  uint32
 	done    bool
 	faulted bool
@@ -120,7 +121,8 @@ func (m *MemUnit) Begin(op OpKind, addr uint32, data uint32) {
 		if m.cached && m.dcache != nil {
 			m.dcache.Update(addr, data)
 		}
-		m.req = ocp.Request{Cmd: ocp.Write, Addr: addr, Burst: 1, Data: []uint32{data}}
+		m.stBuf[0] = data
+		m.req = ocp.Request{Cmd: ocp.Write, Addr: addr, Burst: 1, Data: m.stBuf[:1]}
 		m.state = muIssue
 	}
 }

@@ -35,11 +35,19 @@ type Device struct {
 	port ocp.MasterPort
 	id   int
 
-	regs     [NumRegs]uint32
-	pc       int
-	state    devState
-	idleLeft uint32
-	req      ocp.Request
+	regs  [NumRegs]uint32
+	pc    int
+	state devState
+	// wakeAt is the absolute cycle at which an Idle wait expires: the
+	// device resumes execution at the first tick whose cycle is >= wakeAt.
+	// Keeping the deadline absolute (instead of a per-tick countdown) is
+	// what lets the skip kernel jump over the whole wait without ticking.
+	wakeAt uint64
+	req    ocp.Request
+	// burstBuf is the reusable BurstWrite payload buffer. Interconnects
+	// copy the payload no later than acceptance (see ocp.MasterPort), so
+	// one buffer per device is safe.
+	burstBuf []uint32
 
 	halted    bool
 	faulted   bool
@@ -92,9 +100,34 @@ func (d *Device) Preemptible() bool {
 	return d.state == dRun || d.state == dIdle || d.state == dHalt
 }
 
-// Idling reports whether the device is inside an Idle wait (its countdown
-// may be advanced by a scheduler even while the task is suspended).
+// Idling reports whether the device is inside an Idle wait.
 func (d *Device) Idling() bool { return d.state == dIdle }
+
+// NextWake implements sim.Sleeper: a halted TG never wakes, an idling TG
+// wakes when its Idle expires, and a TG that is executing or has an OCP
+// transaction in flight must be ticked every cycle.
+func (d *Device) NextWake(now uint64) uint64 {
+	switch d.state {
+	case dHalt:
+		return sim.WakeNever
+	case dIdle:
+		if d.wakeAt > now {
+			return d.wakeAt
+		}
+	}
+	return now
+}
+
+// PushWake defers an in-progress Idle wait by delta cycles. Schedulers that
+// freeze suspended tasks (core.MultiTask with RunIdleTimers disabled) call
+// it on resume with the length of the suspension, so the absolute deadline
+// behaves exactly like a paused countdown. It is a no-op outside an Idle
+// wait.
+func (d *Device) PushWake(delta uint64) {
+	if d.state == dIdle {
+		d.wakeAt += delta
+	}
+}
 
 // Tick implements sim.Device.
 func (d *Device) Tick(cycle uint64) {
@@ -102,11 +135,12 @@ func (d *Device) Tick(cycle uint64) {
 	case dHalt:
 		return
 	case dIdle:
-		d.idleLeft--
-		if d.idleLeft == 0 {
-			d.state = dRun
+		if cycle < d.wakeAt {
+			return
 		}
-		return
+		// The wait expired: fall through to execute this cycle's
+		// instruction, exactly as the strict per-cycle countdown did.
+		d.state = dRun
 	case dIssue:
 		if d.port.TryRequest(&d.req) {
 			d.Transactions++
@@ -160,7 +194,9 @@ func (d *Device) Tick(cycle uint64) {
 		if n <= 1 {
 			return
 		}
-		d.idleLeft = n - 1
+		// Idle(n) executed at this cycle occupies n cycles total: execution
+		// resumes at cycle+n.
+		d.wakeAt = cycle + uint64(n)
 		d.state = dIdle
 	case Halt:
 		d.halt(cycle)
@@ -169,15 +205,19 @@ func (d *Device) Tick(cycle uint64) {
 	case BurstRead:
 		d.issue(ocp.Request{Cmd: ocp.BurstRead, Addr: d.regs[in.Ra], Burst: int(in.Imm), MasterID: d.id})
 	case Write:
+		d.burstBuf = append(d.burstBuf[:0], d.regs[in.Rb])
 		d.issue(ocp.Request{Cmd: ocp.Write, Addr: d.regs[in.Ra], Burst: 1,
-			Data: []uint32{d.regs[in.Rb]}, MasterID: d.id})
+			Data: d.burstBuf, MasterID: d.id})
 	case BurstWrite:
-		data := make([]uint32, in.Imm)
-		for i := range data {
-			data[i] = d.regs[in.Rb]
+		// Reuse the device-owned payload buffer: the previous burst was
+		// copied by the interconnect at acceptance, and this device blocks
+		// until each request is accepted.
+		d.burstBuf = d.burstBuf[:0]
+		for i := uint32(0); i < in.Imm; i++ {
+			d.burstBuf = append(d.burstBuf, d.regs[in.Rb])
 		}
 		d.issue(ocp.Request{Cmd: ocp.BurstWrite, Addr: d.regs[in.Ra], Burst: int(in.Imm),
-			Data: data, MasterID: d.id})
+			Data: d.burstBuf, MasterID: d.id})
 	}
 }
 
@@ -215,6 +255,7 @@ func (d *Device) fault(cycle uint64) {
 }
 
 var _ sim.Device = (*Device)(nil)
+var _ sim.Sleeper = (*Device)(nil)
 
 // DebugState exposes the FSM state for diagnostics.
 func (d *Device) DebugState() string {
@@ -222,7 +263,7 @@ func (d *Device) DebugState() string {
 	case dRun:
 		return "run"
 	case dIdle:
-		return fmt.Sprintf("idle(%d)", d.idleLeft)
+		return fmt.Sprintf("idle(until %d)", d.wakeAt)
 	case dIssue:
 		return "issue"
 	case dWait:

@@ -14,10 +14,11 @@ type MultiTaskConfig struct {
 	// SwitchPenalty is the context-switch cost in cycles (default 20),
 	// modelling register/cache state exchange.
 	SwitchPenalty uint64
-	// RunIdleTimers keeps suspended tasks' Idle countdowns running (a task
+	// RunIdleTimers keeps suspended tasks' Idle timers running (a task
 	// blocked in a long Idle behaves like a sleeping process whose timer
 	// fires regardless of who is scheduled). When false, suspended tasks
-	// are fully frozen.
+	// are fully frozen: their Idle deadline is deferred by the length of
+	// every suspension.
 	RunIdleTimers bool
 }
 
@@ -48,6 +49,13 @@ type MultiTask struct {
 	sliceLeft  uint64
 	switchLeft uint64
 
+	// lastTick records the last cycle each task was ticked; with frozen
+	// idle timers (RunIdleTimers false), a resumed task's Idle deadline is
+	// pushed by the gap, emulating a paused countdown over the devices'
+	// absolute wake deadlines.
+	lastTick []uint64
+	ticked   []bool
+
 	halted    bool
 	haltCycle uint64
 	// Switches counts completed context switches.
@@ -68,6 +76,8 @@ func NewMultiTask(cfg MultiTaskConfig, progs []*Program, port ocp.MasterPort) (*
 		m.tasks = append(m.tasks, d)
 	}
 	m.sliceLeft = m.cfg.Timeslice
+	m.lastTick = make([]uint64, len(m.tasks))
+	m.ticked = make([]bool, len(m.tasks))
 	return m, nil
 }
 
@@ -88,7 +98,6 @@ func (m *MultiTask) Tick(cycle uint64) {
 	if m.halted {
 		return
 	}
-	m.tickSleepers(cycle)
 	if m.switchLeft > 0 {
 		m.switchLeft--
 		return
@@ -100,7 +109,7 @@ func (m *MultiTask) Tick(cycle uint64) {
 		}
 		cur = m.tasks[m.cur]
 	}
-	cur.Tick(cycle)
+	m.tickTask(m.cur, cycle)
 	if m.sliceLeft > 0 {
 		m.sliceLeft--
 	}
@@ -113,16 +122,18 @@ func (m *MultiTask) Tick(cycle uint64) {
 	}
 }
 
-// tickSleepers advances suspended tasks that are inside an Idle wait.
-func (m *MultiTask) tickSleepers(cycle uint64) {
-	if !m.cfg.RunIdleTimers {
-		return
+// tickTask ticks task i at cycle. Devices keep absolute Idle deadlines
+// (which run on wall-clock cycles, matching RunIdleTimers semantics for
+// free); with frozen timers the deadline is first deferred by however long
+// the task sat suspended.
+func (m *MultiTask) tickTask(i int, cycle uint64) {
+	t := m.tasks[i]
+	if !m.cfg.RunIdleTimers && m.ticked[i] && cycle > m.lastTick[i]+1 {
+		t.PushWake(cycle - m.lastTick[i] - 1)
 	}
-	for i, t := range m.tasks {
-		if i != m.cur && t.Idling() {
-			t.Tick(cycle)
-		}
-	}
+	m.lastTick[i] = cycle
+	m.ticked[i] = true
+	t.Tick(cycle)
 }
 
 // rotate schedules the next runnable task; it returns false (and halts the
@@ -152,4 +163,16 @@ func (m *MultiTask) rotate(cycle uint64, penalize bool) bool {
 	return true
 }
 
+// NextWake implements sim.Sleeper conservatively: scheduling state (time
+// slices, switch penalties) is per-tick countdown state, so a running
+// multitask master asks to be ticked every cycle; only a fully halted one
+// lets the skip kernel jump the drain tail.
+func (m *MultiTask) NextWake(now uint64) uint64 {
+	if m.halted {
+		return sim.WakeNever
+	}
+	return now
+}
+
 var _ sim.Device = (*MultiTask)(nil)
+var _ sim.Sleeper = (*MultiTask)(nil)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"noctg/internal/ocp"
+	"noctg/internal/sim"
 )
 
 // SlaveMode selects how a SlaveTG answers reads.
@@ -66,19 +67,23 @@ func (s *SlaveTG) AccessCycles(req *ocp.Request) uint64 {
 
 // Perform implements ocp.Slave.
 func (s *SlaveTG) Perform(req *ocp.Request) ocp.Response {
+	return s.PerformInto(req, make([]uint32, 0, req.Burst))
+}
+
+// PerformInto implements ocp.BufferedSlave.
+func (s *SlaveTG) PerformInto(req *ocp.Request, dst []uint32) ocp.Response {
 	switch {
 	case req.Cmd.IsRead():
 		s.Reads += uint64(req.Burst)
-		data := make([]uint32, req.Burst)
-		for i := range data {
+		for i := 0; i < req.Burst; i++ {
 			addr := req.Addr + uint32(4*i)
 			if s.mode == MemorySlave {
-				data[i] = s.words[addr]
+				dst = append(dst, s.words[addr])
 			} else {
-				data[i] = s.dummy(addr)
+				dst = append(dst, s.dummy(addr))
 			}
 		}
-		return ocp.Response{Data: data}
+		return ocp.Response{Data: dst}
 	case req.Cmd.IsWrite():
 		s.Writes += uint64(req.Burst)
 		if s.mode == MemorySlave {
@@ -90,6 +95,10 @@ func (s *SlaveTG) Perform(req *ocp.Request) ocp.Response {
 	}
 	return ocp.Response{Err: true}
 }
+
+// NextWake implements sim.Sleeper: a slave TG acts only inside
+// fabric-invoked Perform calls, so it never needs a clock tick.
+func (s *SlaveTG) NextWake(uint64) uint64 { return sim.WakeNever }
 
 // dummy derives the deterministic dummy read value for addr.
 func (s *SlaveTG) dummy(addr uint32) uint32 {
@@ -104,3 +113,4 @@ func (s *SlaveTG) dummy(addr uint32) uint32 {
 func (s *SlaveTG) Peek(addr uint32) uint32 { return s.words[addr] }
 
 var _ ocp.Slave = (*SlaveTG)(nil)
+var _ ocp.BufferedSlave = (*SlaveTG)(nil)

@@ -46,21 +46,36 @@ func (r *RAM) AccessCycles(req *ocp.Request) uint64 {
 
 // Perform implements ocp.Slave.
 func (r *RAM) Perform(req *ocp.Request) ocp.Response {
+	return r.PerformInto(req, make([]uint32, 0, req.Burst))
+}
+
+// PerformInto implements ocp.BufferedSlave: read data is appended to dst
+// instead of freshly allocated, so interconnects can reuse one buffer per
+// port across transactions.
+func (r *RAM) PerformInto(req *ocp.Request, dst []uint32) ocp.Response {
 	idx, ok := r.index(req.Addr)
 	if !ok || idx+req.Burst > len(r.words) {
 		return ocp.Response{Err: true}
 	}
 	switch {
 	case req.Cmd.IsRead():
-		data := make([]uint32, req.Burst)
-		copy(data, r.words[idx:idx+req.Burst])
-		return ocp.Response{Data: data}
+		return ocp.Response{Data: append(dst, r.words[idx:idx+req.Burst]...)}
 	case req.Cmd.IsWrite():
 		copy(r.words[idx:idx+req.Burst], req.Data)
 		return ocp.Response{}
 	}
 	return ocp.Response{Err: true}
 }
+
+// NextWake implements sim.Sleeper: a RAM is purely reactive (it acts only
+// inside a fabric-invoked Perform), so it never needs a clock tick of its
+// own.
+func (r *RAM) NextWake(uint64) uint64 { return wakeNever }
+
+// wakeNever mirrors sim.WakeNever without importing sim: the passive slaves
+// in this package implement the Sleeper method set but are not engine
+// devices.
+const wakeNever = ^uint64(0)
 
 // PeekWord reads a word directly, bypassing timing — used by program
 // loaders, test assertions and functional validation only.
@@ -109,3 +124,4 @@ func (r *RAM) index(addr uint32) (int, bool) {
 }
 
 var _ ocp.Slave = (*RAM)(nil)
+var _ ocp.BufferedSlave = (*RAM)(nil)

@@ -58,6 +58,13 @@ func (s *SemBank) AccessCycles(req *ocp.Request) uint64 {
 // Perform implements ocp.Slave. Burst accesses to the semaphore bank are
 // rejected: test-and-set is a single-word operation.
 func (s *SemBank) Perform(req *ocp.Request) ocp.Response {
+	return s.PerformInto(req, make([]uint32, 0, 1))
+}
+
+// PerformInto implements ocp.BufferedSlave. Semaphore polling is the
+// hottest read path of the reactive scenarios (Figure 2(b)/Figure 3), so
+// poll responses must not allocate.
+func (s *SemBank) PerformInto(req *ocp.Request, dst []uint32) ocp.Response {
 	if req.Burst != 1 {
 		return ocp.Response{Err: true}
 	}
@@ -70,10 +77,10 @@ func (s *SemBank) Perform(req *ocp.Request) ocp.Response {
 		if s.free[idx] {
 			s.free[idx] = false
 			s.acquires++
-			return ocp.Response{Data: []uint32{1}}
+			return ocp.Response{Data: append(dst, 1)}
 		}
 		s.fails++
-		return ocp.Response{Data: []uint32{0}}
+		return ocp.Response{Data: append(dst, 0)}
 	case ocp.Write:
 		if req.Data[0] != 0 {
 			s.free[idx] = true
@@ -85,6 +92,10 @@ func (s *SemBank) Perform(req *ocp.Request) ocp.Response {
 	}
 	return ocp.Response{Err: true}
 }
+
+// NextWake implements sim.Sleeper: the bank is purely reactive and never
+// needs a clock tick of its own.
+func (s *SemBank) NextWake(uint64) uint64 { return wakeNever }
 
 // Free reports whether semaphore i is currently free (test hook).
 func (s *SemBank) Free(i int) bool { return s.free[i] }
@@ -114,3 +125,4 @@ func (s *SemBank) index(addr uint32) (int, bool) {
 }
 
 var _ ocp.Slave = (*SemBank)(nil)
+var _ ocp.BufferedSlave = (*SemBank)(nil)

@@ -31,7 +31,12 @@ type masterNI struct {
 	resp     ocp.Response
 	respAt   uint64
 	hasResp  bool
-	rxBuf    []flit
+	// rxFlits counts response flits of a partially received packet.
+	rxFlits int
+	// respData is the NI-owned copy of the latest read response payload:
+	// each master has at most one outstanding read, so one reusable buffer
+	// per NI suffices and the response packet can be recycled on arrival.
+	respData []uint32
 }
 
 // TryRequest implements ocp.MasterPort.
@@ -57,7 +62,18 @@ func (m *masterNI) TryRequest(req *ocp.Request) bool {
 			}
 			return false
 		}
-		m.pkt = &packet{src: m.node, dst: dst.node, req: m.req, length: reqFlits(&m.req)}
+		pkt := m.net.getPacket()
+		pkt.src, pkt.dst = m.node, dst.node
+		pkt.req = m.req
+		if len(m.req.Data) > 0 {
+			// Copy the write payload into packet-owned storage: the master
+			// may reuse its buffer as soon as the request is accepted, while
+			// the packet crosses the mesh long after that.
+			pkt.dataBuf = append(pkt.dataBuf[:0], m.req.Data...)
+			pkt.req.Data = pkt.dataBuf
+		}
+		pkt.length = reqFlits(&m.req)
+		m.pkt = pkt
 		m.nextFlit = 0
 		m.state = niInjecting
 		return false
@@ -73,15 +89,16 @@ func (m *masterNI) TryRequest(req *ocp.Request) bool {
 	return false
 }
 
-// TakeResponse implements ocp.MasterPort.
+// TakeResponse implements ocp.MasterPort. The returned response is backed
+// by NI-owned storage that the next transaction reuses (see the
+// ocp.MasterPort contract).
 func (m *masterNI) TakeResponse() (*ocp.Response, bool) {
 	if !m.hasResp || m.net.now() < m.respAt {
 		return nil, false
 	}
 	m.hasResp = false
 	m.busyRead = false
-	resp := m.resp
-	return &resp, true
+	return &m.resp, true
 }
 
 // Busy implements ocp.MasterPort.
@@ -100,6 +117,7 @@ func (m *masterNI) tick(cycle uint64) {
 	q.push(flit{pkt: m.pkt, idx: m.nextFlit, arrived: cycle})
 	m.nextFlit++
 	if m.nextFlit == m.pkt.length {
+		m.pkt = nil // the network owns the packet from here on
 		m.state = niInjected
 	}
 }
@@ -109,17 +127,22 @@ func (m *masterNI) acceptFlit(fl flit, cycle uint64) {
 	if !fl.pkt.isResp {
 		panic(fmt.Sprintf("noc: master NI at node %d received a request packet", m.node))
 	}
-	m.rxBuf = append(m.rxBuf, fl)
+	m.rxFlits++
 	if fl.tail() {
 		m.resp = fl.pkt.resp
+		if len(m.resp.Data) > 0 {
+			m.respData = append(m.respData[:0], m.resp.Data...)
+			m.resp.Data = m.respData
+		}
 		m.respAt = cycle + m.net.cfg.RespCycles
 		m.hasResp = true
-		m.rxBuf = m.rxBuf[:0]
+		m.rxFlits = 0
+		m.net.putPacket(fl.pkt)
 	}
 }
 
 func (m *masterNI) idle() bool {
-	return m.state == niIdle && !m.busyRead && !m.hasResp && len(m.rxBuf) == 0
+	return m.state == niIdle && !m.busyRead && !m.hasResp && m.rxFlits == 0
 }
 
 var _ ocp.MasterPort = (*masterNI)(nil)
@@ -135,12 +158,18 @@ type slaveNI struct {
 	slave ocp.Slave
 	rng   ocp.AddrRange
 
-	queue   []*packet // fully received, waiting for service
+	// queue holds fully received packets waiting for service; qhead indexes
+	// the next one so the backing array is reused instead of re-sliced away.
+	queue   []*packet
+	qhead   int
 	current *packet
 	doneAt  uint64
 
 	out      *packet
 	nextFlit int
+	// scratch is the reusable buffer threaded through write Performs (the
+	// read path serves into the response packet's own buffer instead).
+	scratch []uint32
 }
 
 // acceptFlit implements localSink (request delivery).
@@ -171,31 +200,46 @@ func (s *slaveNI) tick(cycle uint64) {
 		if cycle < s.doneAt {
 			return
 		}
-		resp := s.slave.Perform(&s.current.req)
-		if resp.Err {
-			s.net.Counters.Inc("slave_errors")
-		}
 		if s.current.req.Cmd.IsRead() {
-			s.out = &packet{
-				src:    s.node,
-				dst:    s.current.src,
-				isResp: true,
-				resp:   resp,
-				length: respFlits(&s.current.req),
+			// Serve read data straight into the response packet's own
+			// buffer; it stays valid until the master NI copies it out and
+			// recycles the packet.
+			out := s.net.getPacket()
+			var resp ocp.Response
+			resp, out.dataBuf = ocp.PerformBuffered(s.slave, &s.current.req, out.dataBuf)
+			if resp.Err {
+				s.net.Counters.Inc("slave_errors")
 			}
+			out.src, out.dst = s.node, s.current.src
+			out.isResp = true
+			out.resp = resp
+			out.length = respFlits(&s.current.req)
+			s.out = out
 			s.nextFlit = 0
+		} else {
+			var resp ocp.Response
+			resp, s.scratch = ocp.PerformBuffered(s.slave, &s.current.req, s.scratch)
+			if resp.Err {
+				s.net.Counters.Inc("slave_errors")
+			}
 		}
+		s.net.putPacket(s.current)
 		s.current = nil
 	}
-	if s.current == nil && len(s.queue) > 0 {
-		s.current = s.queue[0]
-		s.queue = s.queue[1:]
+	if s.current == nil && s.qhead < len(s.queue) {
+		s.current = s.queue[s.qhead]
+		s.queue[s.qhead] = nil
+		s.qhead++
+		if s.qhead == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.qhead = 0
+		}
 		s.doneAt = cycle + 1 + s.slave.AccessCycles(&s.current.req)
 	}
 }
 
 func (s *slaveNI) idle() bool {
-	return s.current == nil && s.out == nil && len(s.queue) == 0
+	return s.current == nil && s.out == nil && s.qhead == len(s.queue)
 }
 
 var _ localSink = (*slaveNI)(nil)

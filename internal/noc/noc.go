@@ -79,13 +79,19 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// packet is one request or response message.
+// packet is one request or response message. Packets are pooled per
+// Network: a request packet is recycled once its slave NI has served it, a
+// response packet once its master NI has copied the response out, so the
+// steady-state transaction path performs no packet allocation. dataBuf is
+// the packet-owned payload storage (write data on requests, read data on
+// responses), reused across the packet's lives.
 type packet struct {
 	src, dst int
 	isResp   bool
 	req      ocp.Request
 	resp     ocp.Response
 	length   int
+	dataBuf  []uint32
 }
 
 func (p *packet) vc() int {
@@ -107,16 +113,36 @@ type flit struct {
 func (f *flit) head() bool { return f.idx == 0 }
 func (f *flit) tail() bool { return f.idx == f.pkt.length-1 }
 
-// fifo is a simple flit queue.
+// fifo is a fixed-capacity flit ring buffer. Router input FIFOs are bounded
+// by BufferFlits, so the storage is allocated once at mesh construction and
+// the per-flit path never allocates.
 type fifo struct {
-	q []flit
+	buf  []flit
+	head int
+	n    int
 }
 
-func (f *fifo) push(fl flit) { f.q = append(f.q, fl) }
-func (f *fifo) empty() bool  { return len(f.q) == 0 }
-func (f *fifo) len() int     { return len(f.q) }
-func (f *fifo) front() *flit { return &f.q[0] }
-func (f *fifo) pop() flit    { fl := f.q[0]; f.q = f.q[1:]; return fl }
+func (f *fifo) init(capacity int) { f.buf = make([]flit, capacity) }
+
+func (f *fifo) push(fl flit) {
+	if f.n == len(f.buf) {
+		panic("noc: fifo overflow")
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = fl
+	f.n++
+}
+
+func (f *fifo) empty() bool  { return f.n == 0 }
+func (f *fifo) len() int     { return f.n }
+func (f *fifo) front() *flit { return &f.buf[f.head] }
+
+func (f *fifo) pop() flit {
+	fl := f.buf[f.head]
+	f.buf[f.head].pkt = nil // drop the packet reference for the pool's sake
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return fl
+}
 
 // router is one mesh node's switch.
 type router struct {
@@ -242,6 +268,13 @@ type Network struct {
 	masters []*masterNI
 	slaves  []*slaveNI
 
+	// pktPool recycles packet structs (and their payload buffers); the
+	// engine is single-goroutine per network, so no locking is needed.
+	// livePackets counts packets currently out of the pool — the cheap
+	// quiescence signal NextWake uses every cycle.
+	pktPool     []*packet
+	livePackets int
+
 	flitsRouted uint64
 	Counters    sim.Counters
 }
@@ -258,11 +291,31 @@ func New(cfg Config, now func() uint64) *Network {
 		for o := 0; o < numPorts; o++ {
 			for v := 0; v < numVC; v++ {
 				r.alloc[o][v] = -1
+				r.in[o][v].init(n.cfg.BufferFlits)
 			}
 		}
 		n.routers = append(n.routers, r)
 	}
 	return n
+}
+
+// getPacket takes a packet from the pool (or allocates the pool's first few).
+func (n *Network) getPacket() *packet {
+	n.livePackets++
+	if last := len(n.pktPool) - 1; last >= 0 {
+		p := n.pktPool[last]
+		n.pktPool = n.pktPool[:last]
+		return p
+	}
+	return &packet{}
+}
+
+// putPacket returns a dead packet to the pool, keeping its payload buffer.
+func (n *Network) putPacket(p *packet) {
+	n.livePackets--
+	buf := p.dataBuf
+	*p = packet{dataBuf: buf[:0]}
+	n.pktPool = append(n.pktPool, p)
 }
 
 // Config returns the effective configuration.
@@ -359,6 +412,10 @@ func (n *Network) Idle() bool {
 			}
 		}
 	}
+	return n.nisIdle()
+}
+
+func (n *Network) nisIdle() bool {
 	for _, m := range n.masters {
 		if !m.idle() {
 			return false
@@ -372,7 +429,21 @@ func (n *Network) Idle() bool {
 	return true
 }
 
+// NextWake implements sim.Sleeper. The NoC has no timed state of its own —
+// flits move whenever they can — so it is either active this cycle or
+// quiescent until some master injects again (and an injecting master keeps
+// the engine ticking itself). Every in-network flit belongs to a live
+// pooled packet, so livePackets == 0 makes the full router scan
+// unnecessary.
+func (n *Network) NextWake(now uint64) uint64 {
+	if n.livePackets == 0 && n.nisIdle() {
+		return sim.WakeNever
+	}
+	return now
+}
+
 var _ sim.Device = (*Network)(nil)
+var _ sim.Sleeper = (*Network)(nil)
 
 // reqFlits returns the request packet length: header + address/meta flit,
 // plus one payload flit per written word.

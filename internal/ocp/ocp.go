@@ -109,10 +109,17 @@ type Response struct {
 type MasterPort interface {
 	// TryRequest presents req this cycle. It returns true when the
 	// interconnect accepts (latches) the request; the master must re-present
-	// the same request on subsequent cycles until accepted.
+	// the same request on subsequent cycles until accepted. The request's
+	// Data slice must stay untouched from the first presentation until
+	// acceptance; interconnects copy the payload into their own storage no
+	// later than acceptance, so after TryRequest returns true the master may
+	// reuse the buffer.
 	TryRequest(req *Request) bool
 	// TakeResponse returns the pending response for this master, if one has
-	// been delivered by the current cycle, consuming it.
+	// been delivered by the current cycle, consuming it. The returned
+	// Response (and its Data slice) may be backed by port-owned storage that
+	// is reused by the next transaction: callers must copy out anything they
+	// need before operating the port again.
 	TakeResponse() (*Response, bool)
 	// Busy reports whether a previously accepted transaction is still in
 	// flight (posted writes clear as soon as they are accepted).
@@ -128,6 +135,35 @@ type Slave interface {
 	// Perform applies the request's side effects and, for reads, returns
 	// the data. It is called exactly once per accepted transaction.
 	Perform(req *Request) Response
+}
+
+// BufferedSlave is optionally implemented by slaves that can serve reads
+// into a caller-provided buffer, sparing the per-transaction Data allocation
+// of Perform. dst arrives with length 0 and whatever capacity the caller has
+// accumulated; the returned Response's Data must be the result of appending
+// the read words to dst (writes and errors return Data nil as usual).
+// Interconnects own the buffer lifecycle: they pass storage whose lifetime
+// covers the response's delivery, and grow it across transactions.
+type BufferedSlave interface {
+	PerformInto(req *Request, dst []uint32) Response
+}
+
+// PerformBuffered serves req on s, reusing buf for read data when the slave
+// supports buffered operation and falling back to Perform otherwise. It
+// returns the response together with the (possibly grown) buffer, which the
+// caller keeps for the next transaction. The returned response's Data
+// aliases the returned buffer for buffered slaves — the caller must not
+// start another transaction on the same buffer until the response has been
+// consumed.
+func PerformBuffered(s Slave, req *Request, buf []uint32) (Response, []uint32) {
+	if bs, ok := s.(BufferedSlave); ok {
+		resp := bs.PerformInto(req, buf[:0])
+		if cap(resp.Data) > cap(buf) {
+			buf = resp.Data[:0]
+		}
+		return resp, buf
+	}
+	return s.Perform(req), buf
 }
 
 // AddrRange is a half-open byte-address range [Base, Base+Size).

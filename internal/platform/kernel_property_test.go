@@ -1,0 +1,111 @@
+package platform_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"noctg/internal/core"
+	"noctg/internal/layout"
+	"noctg/internal/platform"
+)
+
+// randomProgram emits a random but well-formed TGP program: bursts of
+// reads/writes to the shared memory, long and short Idle gaps, and a
+// semaphore-guarded critical section shared by all masters, so that the
+// skip kernel has to get both pure sleeping and reactive cross-core timing
+// right.
+func randomProgram(r *rand.Rand, master, cores int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MASTER[%d,%d]\n", master, cores-1)
+	fmt.Fprintf(&b, "REGISTER sem %#08x\n", layout.SemAddr(0))
+	fmt.Fprintf(&b, "REGISTER one 1\n")
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, "REGISTER a%d %#08x\n", i,
+			layout.SharedBase+uint32(r.Intn(64))*4)
+	}
+	fmt.Fprintf(&b, "REGISTER d0 %d\n", r.Uint32())
+	b.WriteString("BEGIN\n")
+
+	emitOps := func(n int) {
+		for i := 0; i < n; i++ {
+			a := r.Intn(4)
+			switch r.Intn(5) {
+			case 0:
+				fmt.Fprintf(&b, "\tIdle(%d)\n", 1+r.Intn(5000))
+			case 1:
+				fmt.Fprintf(&b, "\tRead(a%d)\n", a)
+			case 2:
+				fmt.Fprintf(&b, "\tWrite(a%d, d0)\n", a)
+			case 3:
+				fmt.Fprintf(&b, "\tBurstRead(a%d, %d)\n", a, 2+r.Intn(7))
+			case 4:
+				fmt.Fprintf(&b, "\tBurstWrite(a%d, d0, %d)\n", a, 2+r.Intn(7))
+			}
+		}
+	}
+
+	emitOps(2 + r.Intn(6))
+	// Semaphore-guarded section: acquire by polling, hold, release.
+	fmt.Fprintf(&b, "Acquire%d:\n", master)
+	b.WriteString("\tRead(sem)\n")
+	fmt.Fprintf(&b, "\tIf rdreg != one then Acquire%d\n", master)
+	emitOps(1 + r.Intn(4))
+	b.WriteString("\tWrite(sem, one)\n")
+	emitOps(2 + r.Intn(6))
+	b.WriteString("\tHalt\nEND\n")
+	return b.String()
+}
+
+// TestKernelPropertyRandomPrograms is the property half of the equivalence
+// gate: for randomized TG programs on both fabrics, the strict and skip
+// kernels must agree on every master's halt cycle, the makespan, and the
+// final engine cycle count.
+func TestKernelPropertyRandomPrograms(t *testing.T) {
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(trial) * 1117))
+		cores := 2 + r.Intn(2)
+		progs := make([]*core.Program, cores)
+		for i := range progs {
+			p, err := core.Assemble(randomProgram(r, i, cores))
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			progs[i] = p
+		}
+		for _, ic := range []platform.Interconnect{platform.AMBA, platform.XPipes} {
+			run := func(kernel platform.KernelMode) (uint64, uint64, []uint64) {
+				t.Helper()
+				sys, err := platform.BuildTG(platform.Config{
+					Cores: cores, Interconnect: ic, Kernel: kernel,
+				}, progs)
+				if err != nil {
+					t.Fatalf("trial %d %v: %v", trial, ic, err)
+				}
+				makespan, err := sys.Run(5_000_000)
+				if err != nil {
+					t.Fatalf("trial %d %v: %v", trial, ic, err)
+				}
+				halts := make([]uint64, cores)
+				for i, m := range sys.Masters {
+					halts[i] = m.(*core.Device).HaltCycle()
+				}
+				return makespan, sys.Engine.Cycle(), halts
+			}
+			mkS, cycS, haltS := run(platform.KernelStrict)
+			mkK, cycK, haltK := run(platform.KernelSkip)
+			if mkS != mkK || cycS != cycK {
+				t.Fatalf("trial %d %v: strict makespan %d (cycle %d) vs skip %d (cycle %d)",
+					trial, ic, mkS, cycS, mkK, cycK)
+			}
+			for i := range haltS {
+				if haltS[i] != haltK[i] {
+					t.Fatalf("trial %d %v master %d: strict halt %d vs skip halt %d",
+						trial, ic, i, haltS[i], haltK[i])
+				}
+			}
+		}
+	}
+}

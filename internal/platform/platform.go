@@ -47,6 +47,60 @@ type Master interface {
 	Done() bool
 }
 
+// KernelMode selects the simulation kernel for a platform.
+type KernelMode int
+
+const (
+	// KernelAuto picks the idle-skipping kernel for TG-replay platforms
+	// (BuildTG, BuildClone) and the strict kernel everywhere else — in
+	// particular for ARM reference runs, whose reported ARM-vs-TG speedups
+	// must not be inflated by kernel tricks.
+	KernelAuto KernelMode = iota
+	// KernelStrict ticks every device on every cycle.
+	KernelStrict
+	// KernelSkip fast-forwards over cycles in which every device sleeps.
+	// The engine silently falls back to strict ticking when a registered
+	// device does not implement sim.Sleeper (e.g. miniARM cores).
+	KernelSkip
+)
+
+func (k KernelMode) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelStrict:
+		return "strict"
+	case KernelSkip:
+		return "skip"
+	}
+	return fmt.Sprintf("KernelMode(%d)", int(k))
+}
+
+// ParseKernel converts a -kernel flag value into a KernelMode.
+func ParseKernel(s string) (KernelMode, error) {
+	switch s {
+	case "auto", "":
+		return KernelAuto, nil
+	case "strict":
+		return KernelStrict, nil
+	case "skip":
+		return KernelSkip, nil
+	}
+	return 0, fmt.Errorf("platform: unknown kernel %q (want auto, strict or skip)", s)
+}
+
+// kernel maps a KernelMode onto the engine's kernel, resolving KernelAuto
+// with the given default.
+func (k KernelMode) kernel(auto sim.Kernel) sim.Kernel {
+	switch k {
+	case KernelStrict:
+		return sim.KernelStrict
+	case KernelSkip:
+		return sim.KernelSkip
+	}
+	return auto
+}
+
 // MasterFactory builds master id over the given port. The system's memories
 // are already constructed when the factory runs (so program loaders may use
 // them); the port passed in is already wrapped by a trace monitor when
@@ -72,6 +126,12 @@ type Config struct {
 	Clock sim.Clock
 	// Trace enables OCP monitors on every master port.
 	Trace bool
+	// Kernel selects the simulation kernel. The default, KernelAuto,
+	// resolves to skip for TG-replay builders and strict otherwise; strict
+	// and skip runs produce identical simulated state (the differential
+	// tests assert byte-identical sweep artifacts), differing only in host
+	// time.
+	Kernel KernelMode
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +170,7 @@ func Build(cfg Config, factory MasterFactory) (*System, error) {
 		return nil, fmt.Errorf("platform: nil master factory")
 	}
 	e := sim.NewEngine(cfg.Clock)
+	e.SetKernel(cfg.Kernel.kernel(sim.KernelStrict))
 	s := &System{Engine: e, Cfg: cfg}
 
 	s.Shared = mem.NewRAM("shared", layout.SharedBase, layout.SharedSize, cfg.MemWaitStates)

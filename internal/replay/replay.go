@@ -38,9 +38,10 @@ type Clone struct {
 	port   ocp.MasterPort
 	id     int
 
-	i     int
-	state cloneState
-	req   ocp.Request
+	i       int
+	state   cloneState
+	req     ocp.Request
+	dataBuf []uint32
 
 	halted    bool
 	haltCycle uint64
@@ -89,7 +90,10 @@ func (c *Clone) Tick(cycle uint64) {
 		}
 		c.req = ocp.Request{Cmd: e.Cmd, Addr: e.Addr, Burst: e.Burst, MasterID: c.id}
 		if e.Cmd.IsWrite() {
-			c.req.Data = append([]uint32(nil), e.Data...)
+			// Reuse the payload buffer: the interconnect copies it no later
+			// than acceptance (see ocp.MasterPort).
+			c.dataBuf = append(c.dataBuf[:0], e.Data...)
+			c.req.Data = c.dataBuf
 		}
 		c.state = cIssue
 		fallthrough
@@ -112,4 +116,22 @@ func (c *Clone) Tick(cycle uint64) {
 	}
 }
 
+// NextWake implements sim.Sleeper: between transactions the clone sleeps
+// until the next event's recorded assert cycle; mid-handshake it must be
+// ticked every cycle.
+func (c *Clone) NextWake(now uint64) uint64 {
+	switch c.state {
+	case cDone:
+		return sim.WakeNever
+	case cWait:
+		if c.i < len(c.events) {
+			if at := c.events[c.i].Assert; at > now {
+				return at
+			}
+		}
+	}
+	return now
+}
+
 var _ sim.Device = (*Clone)(nil)
+var _ sim.Sleeper = (*Clone)(nil)

@@ -2,12 +2,24 @@
 // other package in the repository. It stands in for the SystemC kernel that
 // the paper's MPARM platform runs on.
 //
-// The kernel is deliberately simple and strict: every registered device is
-// ticked once per simulated clock cycle, in registration order, on a single
-// goroutine. There is no event queue and no time-warping — the paper's
-// speedup comes from traffic generators doing less work per cycle than the
-// processor models they replace, and a kernel that skipped idle cycles would
-// inflate that speedup beyond what the paper reports.
+// The default kernel is deliberately simple and strict: every registered
+// device is ticked once per simulated clock cycle, in registration order, on
+// a single goroutine. There is no event queue and no time-warping — the
+// paper's speedup comes from traffic generators doing less work per cycle
+// than the processor models they replace, and the strict kernel is what the
+// paper's reported ARM-vs-TG speedups are measured on.
+//
+// An opt-in idle-skipping kernel (KernelSkip) accelerates pure TG-replay
+// runs: when every registered device implements Sleeper and reports a future
+// wake cycle — a TG deep inside an Idle(100000), a quiescent interconnect —
+// the engine advances the cycle counter straight to the earliest wake cycle
+// instead of spinning through no-op ticks. Skipping never changes simulated
+// state: a cycle is skipped only when no device could have done work in it,
+// so makespans, histograms and per-device counters are identical to a strict
+// run (the sweep differential tests assert byte-identical artifacts). ARM
+// reference runs stay on the strict kernel so the paper's speedup numbers
+// are not inflated by kernel tricks; see the package README's Performance
+// section for the fidelity argument.
 package sim
 
 import (
@@ -16,7 +28,10 @@ import (
 )
 
 // Device is anything driven by the simulation clock. Tick is called exactly
-// once per cycle, in the order devices were registered.
+// once per executed cycle, in the order devices were registered. Under the
+// skip kernel, cycles in which every device slept are not executed at all;
+// the cycle argument always carries the absolute cycle number, so devices
+// that keep deadlines in absolute cycles observe no difference.
 type Device interface {
 	Tick(cycle uint64)
 }
@@ -33,16 +48,74 @@ type Named interface {
 	Name() string
 }
 
+// WakeNever is the NextWake return value of a device that will never act
+// again without external stimulus (a halted TG, a fully drained bus).
+const WakeNever = ^uint64(0)
+
+// Sleeper is optionally implemented by devices that can declare future
+// idleness to the skip kernel. NextWake(now) returns the earliest cycle at
+// which the device might change state or perform work, given that it has
+// been ticked for every executed cycle before now:
+//
+//   - now:        the device needs its Tick at cycle now (it is active);
+//   - w > now:    the device's Ticks are guaranteed no-ops for every cycle
+//     in [now, w) — the engine may skip them;
+//   - WakeNever:  the device is permanently quiescent.
+//
+// The contract is conservative: a device that cannot cheaply bound its next
+// activity must return now. The engine only skips when every registered
+// device agrees, so one conservative device simply disables skipping without
+// affecting correctness.
+type Sleeper interface {
+	NextWake(now uint64) uint64
+}
+
+// Kernel selects the engine's cycle-advance strategy.
+type Kernel int
+
+const (
+	// KernelStrict ticks every device on every cycle (the default, and the
+	// reference semantics the paper's speedups are reported against).
+	KernelStrict Kernel = iota
+	// KernelSkip fast-forwards over cycles in which every device sleeps.
+	// It requires every registered device to implement Sleeper; if any does
+	// not, the engine silently degrades to strict ticking.
+	KernelSkip
+)
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelStrict:
+		return "strict"
+	case KernelSkip:
+		return "skip"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
 // ErrMaxCycles is returned by Run when the cycle limit is reached before the
 // completion predicate becomes true.
 var ErrMaxCycles = errors.New("sim: cycle limit reached")
 
 // Engine is the cycle-driven simulation kernel. The zero value is ready to
-// use.
+// use and runs the strict kernel.
 type Engine struct {
 	devices []Device
 	cycle   uint64
 	clock   Clock
+	kernel  Kernel
+
+	// sleepers mirrors devices; it is non-nil only while every registered
+	// device implements Sleeper (the precondition for skipping).
+	sleepers []Sleeper
+	// blocker is the index of the sleeper that most recently refused to
+	// sleep. Scans start there: an active device tends to stay active, so
+	// contended phases cost one NextWake call per cycle instead of a full
+	// scan.
+	blocker int
+	// SkippedCycles counts cycles the skip kernel fast-forwarded over
+	// (diagnostics only; strict runs keep it at zero).
+	SkippedCycles uint64
 }
 
 // NewEngine returns an engine using the given clock. A zero Clock means the
@@ -51,7 +124,7 @@ func NewEngine(clock Clock) *Engine {
 	if clock.PeriodNS == 0 {
 		clock = DefaultClock
 	}
-	return &Engine{clock: clock}
+	return &Engine{clock: clock, sleepers: []Sleeper{}}
 }
 
 // Clock returns the engine's clock definition.
@@ -62,6 +135,12 @@ func (e *Engine) Clock() Clock {
 	return e.clock
 }
 
+// SetKernel selects the cycle-advance strategy for subsequent Run calls.
+func (e *Engine) SetKernel(k Kernel) { e.kernel = k }
+
+// Kernel returns the selected cycle-advance strategy.
+func (e *Engine) Kernel() Kernel { return e.kernel }
+
 // Add registers a device. Devices are ticked in registration order; the
 // platform packages rely on this to implement the fixed
 // masters→interconnect ordering described in DESIGN.md.
@@ -70,13 +149,25 @@ func (e *Engine) Add(d Device) {
 		panic("sim: Add(nil) device")
 	}
 	e.devices = append(e.devices, d)
+	if e.sleepers != nil || len(e.devices) == 1 {
+		if s, ok := d.(Sleeper); ok {
+			e.sleepers = append(e.sleepers, s)
+		} else {
+			// One non-Sleeper device disables skipping for the whole engine.
+			e.sleepers = nil
+		}
+	}
 }
 
 // Devices returns the number of registered devices.
 func (e *Engine) Devices() int { return len(e.devices) }
 
+// CanSkip reports whether every registered device implements Sleeper, i.e.
+// whether the skip kernel can actually fast-forward on this engine.
+func (e *Engine) CanSkip() bool { return e.sleepers != nil }
+
 // Cycle returns the current cycle number, i.e. the number of completed
-// Step calls since construction.
+// (executed or skipped) cycles since construction.
 func (e *Engine) Cycle() uint64 { return e.cycle }
 
 // Step advances the simulation by one cycle, ticking every device once.
@@ -88,25 +179,53 @@ func (e *Engine) Step() {
 	e.cycle++
 }
 
+// nextWake returns the earliest cycle at which any device might act, asking
+// every Sleeper with now = e.cycle (the next cycle to execute). The scan
+// rotates, starting from the last blocking device, and exits at the first
+// device that needs a tick now. The caller guarantees e.sleepers is
+// non-nil and non-empty.
+func (e *Engine) nextWake() uint64 {
+	now := e.cycle
+	sl := e.sleepers
+	n := len(sl)
+	if e.blocker >= n {
+		e.blocker = 0
+	}
+	w := WakeNever
+	for k := 0; k < n; k++ {
+		i := e.blocker + k
+		if i >= n {
+			i -= n
+		}
+		nw := sl[i].NextWake(now)
+		if nw <= now {
+			e.blocker = i
+			return now
+		}
+		if nw < w {
+			w = nw
+		}
+	}
+	return w
+}
+
 // Run steps the simulation until done() reports true (checked after each
 // cycle) or maxCycles cycles have elapsed, whichever comes first. It returns
 // the number of cycles executed by this call. If the limit is hit first the
 // returned error wraps ErrMaxCycles.
+//
+// Under the skip kernel, done() must depend only on device state (not on the
+// raw cycle counter): skipped cycles are exactly those in which no device
+// state changes, so the predicate is evaluated only at cycles where its
+// value could differ from the previous evaluation.
 func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
-	if done == nil {
-		return 0, errors.New("sim: Run requires a completion predicate")
-	}
-	start := e.cycle
-	for e.cycle-start < maxCycles {
-		e.Step()
-		if done() {
-			return e.cycle - start, nil
-		}
-	}
-	return e.cycle - start, fmt.Errorf("%w (%d cycles)", ErrMaxCycles, maxCycles)
+	return e.run(maxCycles, 1, done)
 }
 
-// RunFor steps the simulation for exactly n cycles.
+// RunFor steps the simulation for exactly n cycles. It always ticks
+// strictly, regardless of the selected kernel: callers use it to reach a
+// precise cycle count, which skipping would not change, and per-cycle side
+// effects of non-Sleeper devices (test instrumentation) are often the point.
 func (e *Engine) RunFor(n uint64) {
 	for i := uint64(0); i < n; i++ {
 		e.Step()
@@ -114,25 +233,75 @@ func (e *Engine) RunFor(n uint64) {
 }
 
 // RunEvery is Run, but evaluates the completion predicate only every stride
-// cycles. Devices still tick every cycle, so simulated state is unaffected;
-// only the detection of completion is delayed by up to stride-1 cycles.
-// Platforms use it to keep predicate evaluation out of the per-cycle hot
-// path.
+// cycles. Devices still tick (or are provably idle) every cycle, so
+// simulated state is unaffected; only the detection of completion is delayed
+// by up to stride-1 cycles. Platforms use it to keep predicate evaluation
+// out of the per-cycle hot path.
 func (e *Engine) RunEvery(maxCycles, stride uint64, done func() bool) (uint64, error) {
-	if done == nil {
-		return 0, errors.New("sim: RunEvery requires a completion predicate")
-	}
 	if stride == 0 {
 		stride = 1
 	}
+	return e.run(maxCycles, stride, done)
+}
+
+// run is the shared Run/RunEvery loop. The predicate is evaluated at stride
+// boundaries (relative to the start cycle) and, if the final budgeted cycle
+// is not a boundary, once more after the loop — never twice for the same
+// cycle. All loop state (start, end, the done closure's captures) is hoisted
+// out of the per-cycle path, and the body allocates nothing.
+func (e *Engine) run(maxCycles, stride uint64, done func() bool) (uint64, error) {
+	if done == nil {
+		return 0, errors.New("sim: Run requires a completion predicate")
+	}
+	skip := e.kernel == KernelSkip && e.sleepers != nil
 	start := e.cycle
-	for e.cycle-start < maxCycles {
+	end := start + maxCycles
+	checked := false // whether done() was evaluated at the current cycle
+	for e.cycle < end {
 		e.Step()
-		if (e.cycle-start)%stride == 0 && done() {
+		checked = (e.cycle-start)%stride == 0
+		if checked && done() {
 			return e.cycle - start, nil
 		}
+		if !skip {
+			continue
+		}
+		w := e.nextWake()
+		if w <= e.cycle {
+			continue
+		}
+		// Device state — and with it the predicate — is frozen until cycle
+		// w executes. The strict kernel would evaluate the predicate at
+		// every stride boundary inside (e.cycle, w]; one evaluation of the
+		// frozen value stands in for all of them, and none is needed when
+		// no boundary falls in the window (or when the boundary at e.cycle
+		// already saw the frozen value).
+		if det := start + ((e.cycle-start)/stride+1)*stride; !checked && det <= w {
+			checked = true
+			if done() {
+				if det > end {
+					det = end
+				}
+				e.SkippedCycles += det - e.cycle
+				e.cycle = det
+				return e.cycle - start, nil
+			}
+		}
+		if w == WakeNever {
+			// Frozen forever with a false predicate: the strict kernel
+			// would spin no-op ticks to the budget and fail there.
+			e.SkippedCycles += end - e.cycle
+			e.cycle = end
+			return e.cycle - start, fmt.Errorf("%w (%d cycles)", ErrMaxCycles, maxCycles)
+		}
+		if w > end {
+			w = end
+		}
+		e.SkippedCycles += w - e.cycle
+		e.cycle = w
+		checked = false
 	}
-	if done() {
+	if !checked && done() {
 		return e.cycle - start, nil
 	}
 	return e.cycle - start, fmt.Errorf("%w (%d cycles)", ErrMaxCycles, maxCycles)

@@ -100,8 +100,11 @@ type Generator struct {
 	port ocp.MasterPort
 	id   int
 
-	issued   int
-	idleLeft uint64
+	issued int
+	// wakeAt is the absolute cycle at which the next transaction is built
+	// and presented; absolute deadlines let the skip kernel jump the whole
+	// inter-transaction gap.
+	wakeAt   uint64
 	burstPos int
 	state    genState
 	req      ocp.Request
@@ -193,8 +196,7 @@ func (g *Generator) Tick(cycle uint64) {
 			g.state = gDone
 			return
 		}
-		if g.idleLeft > 0 {
-			g.idleLeft--
+		if cycle < g.wakeAt {
 			return
 		}
 		g.req = g.nextRequest()
@@ -207,17 +209,34 @@ func (g *Generator) Tick(cycle uint64) {
 				g.reqStart = cycle
 				g.state = gResp
 			} else {
-				g.idleLeft = g.nextGap()
+				g.wakeAt = cycle + g.nextGap() + 1
 				g.state = gIdle
 			}
 		}
 	case gResp:
 		if _, ok := g.port.TakeResponse(); ok {
 			g.Latency.Observe(cycle - g.reqStart)
-			g.idleLeft = g.nextGap()
+			g.wakeAt = cycle + g.nextGap() + 1
 			g.state = gIdle
 		}
 	}
 }
 
+// NextWake implements sim.Sleeper: a finished generator never wakes, an
+// idle one wakes at its next scheduled injection, and one mid-handshake
+// must be ticked every cycle. A generator that has issued its full count
+// also asks for one more tick, in which it records its halt.
+func (g *Generator) NextWake(now uint64) uint64 {
+	switch g.state {
+	case gDone:
+		return sim.WakeNever
+	case gIdle:
+		if g.issued < g.cfg.Count && g.wakeAt > now {
+			return g.wakeAt
+		}
+	}
+	return now
+}
+
 var _ sim.Device = (*Generator)(nil)
+var _ sim.Sleeper = (*Generator)(nil)

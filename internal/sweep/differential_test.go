@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"noctg/internal/exp"
+	"noctg/internal/platform"
+)
+
+// TestKernelDifferentialGrid is the tentpole equivalence gate for the grid
+// sweep: every DefaultGrid point must produce an identical Result under the
+// strict and the idle-skipping kernel, down to byte-identical JSON and CSV
+// artifacts.
+func TestKernelDifferentialGrid(t *testing.T) {
+	points := DefaultGrid().Expand()
+
+	strict, err := Runner{Kernel: platform.KernelStrict}.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip, err := Runner{Kernel: platform.KernelSkip}.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) != len(skip) {
+		t.Fatalf("strict produced %d results, skip %d", len(strict), len(skip))
+	}
+	for i := range strict {
+		if strict[i].Err != "" {
+			t.Fatalf("strict point %d (%s @ %s): %s", i, strict[i].Workload, strict[i].Fabric, strict[i].Err)
+		}
+		if !reflect.DeepEqual(strict[i], skip[i]) {
+			t.Fatalf("point %d (%s @ %s) diverged:\nstrict: %+v\nskip:   %+v",
+				i, strict[i].Workload, strict[i].Fabric, strict[i], skip[i])
+		}
+	}
+
+	var js, jk, cs, ck bytes.Buffer
+	if err := WriteJSON(&js, strict); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&jk, skip); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js.Bytes(), jk.Bytes()) {
+		t.Fatal("JSON artifacts differ between strict and skip kernels")
+	}
+	if err := WriteCSV(&cs, strict); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&ck, skip); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cs.Bytes(), ck.Bytes()) {
+		t.Fatal("CSV artifacts differ between strict and skip kernels")
+	}
+}
+
+// TestKernelDifferentialPaper runs every paper experiment family under both
+// kernels and asserts the simulated-state results (makespans, poll counts,
+// program equality — everything except host wall-clock) are identical.
+func TestKernelDifferentialPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper differential is a long test")
+	}
+	sizes := tinySizes()
+	sel := AllPaper()
+
+	run := func(kernel platform.KernelMode) *PaperResults {
+		t.Helper()
+		opt := exp.DefaultOptions()
+		opt.Platform.Kernel = kernel
+		res, err := RunPaperSelect(sizes, opt, 0, sel)
+		if err != nil {
+			t.Fatalf("kernel %v: %v", kernel, err)
+		}
+		return res
+	}
+	strict := run(platform.KernelStrict)
+	skip := run(platform.KernelSkip)
+
+	if len(strict.Table2) != len(skip.Table2) {
+		t.Fatalf("table2 rows: strict %d, skip %d", len(strict.Table2), len(skip.Table2))
+	}
+	for i := range strict.Table2 {
+		s, k := strict.Table2[i], skip.Table2[i]
+		if s.Bench != k.Bench || s.Cores != k.Cores ||
+			s.CyclesARM != k.CyclesARM || s.CyclesTG != k.CyclesTG ||
+			s.ErrorPct != k.ErrorPct || s.TraceBytes != k.TraceBytes {
+			t.Fatalf("table2 row %d diverged:\nstrict: %+v\nskip:   %+v", i, s, k)
+		}
+	}
+	if !reflect.DeepEqual(strict.CrossChecks, skip.CrossChecks) {
+		t.Fatalf("cross-checks diverged:\nstrict: %+v\nskip:   %+v", strict.CrossChecks, skip.CrossChecks)
+	}
+	if strict.Overhead.TraceBytes != skip.Overhead.TraceBytes ||
+		strict.Overhead.Events != skip.Overhead.Events {
+		t.Fatalf("overhead diverged:\nstrict: %+v\nskip:   %+v", strict.Overhead, skip.Overhead)
+	}
+	if !reflect.DeepEqual(strict.Fidelity, skip.Fidelity) {
+		t.Fatalf("fidelity ablation diverged:\nstrict: %+v\nskip:   %+v", strict.Fidelity, skip.Fidelity)
+	}
+	if !reflect.DeepEqual(strict.Arbitration, skip.Arbitration) {
+		t.Fatalf("arbitration ablation diverged:\nstrict: %+v\nskip:   %+v", strict.Arbitration, skip.Arbitration)
+	}
+	if !reflect.DeepEqual(strict.Fig2a, skip.Fig2a) {
+		t.Fatalf("fig2a diverged:\nstrict: %+v\nskip:   %+v", strict.Fig2a, skip.Fig2a)
+	}
+	if !reflect.DeepEqual(strict.Fig2b, skip.Fig2b) {
+		t.Fatalf("fig2b diverged:\nstrict: %+v\nskip:   %+v", strict.Fig2b, skip.Fig2b)
+	}
+}
+
+// TestKernelDefaultIsSkip pins the TG-replay default: a sweep Runner with
+// the zero-value kernel mode must behave exactly like an explicit skip
+// selection (the paper-replay default the ISSUE requires).
+func TestKernelDefaultIsSkip(t *testing.T) {
+	points := DefaultGrid().Expand()[:2]
+	auto, err := Runner{}.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip, err := Runner{Kernel: platform.KernelSkip}.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(auto, skip) {
+		t.Fatal("zero-value Runner kernel must resolve to skip")
+	}
+}

@@ -54,6 +54,11 @@ type Runner struct {
 	// 8× the benchmark's MaxCycles for TG points (slow fabrics stretch the
 	// run), 2,000,000 cycles for stochastic points.
 	MaxCycles uint64
+	// Kernel selects the simulation kernel for every grid point. The
+	// default (KernelAuto) is the idle-skipping kernel: sweep points replay
+	// TGs or stochastic generators, never ARM cores, and skip runs produce
+	// byte-identical artifacts (asserted by TestKernelDifferential).
+	Kernel platform.KernelMode
 }
 
 const stochasticMaxCycles = 2_000_000
@@ -159,6 +164,10 @@ func (r Runner) runPoint(cache *programCache, p Point) (res Result) {
 		Seed:          p.Seed,
 	}
 	ic, _ := p.Fabric.interconnect()
+	kernel := r.Kernel
+	if kernel == platform.KernelAuto {
+		kernel = platform.KernelSkip
+	}
 	cfg := platform.Config{
 		Cores:        p.Workload.Cores,
 		Interconnect: ic,
@@ -170,6 +179,7 @@ func (r Runner) runPoint(cache *programCache, p Point) (res Result) {
 		MemWaitStates: p.Fabric.MemWaitStates,
 		Clock:         sim.Clock{PeriodNS: p.ClockPeriodNS},
 		Trace:         true,
+		Kernel:        kernel,
 	}
 
 	var (

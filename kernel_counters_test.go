@@ -1,0 +1,44 @@
+package noctg_test
+
+import (
+	"testing"
+
+	"noctg/internal/core"
+	"noctg/internal/platform"
+)
+
+func TestBusCounterKernelEquivalence(t *testing.T) {
+	src := `MASTER[0,0]
+REGISTER addr 0x08000000
+REGISTER data 7
+BEGIN
+	Write(addr, data)
+	Idle(5000)
+	Write(addr, data)
+	Halt
+END`
+	run := func(kernel platform.KernelMode) (busy, idle uint64) {
+		progs := make([]*core.Program, 2)
+		for i := range progs {
+			p, err := core.Assemble(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			progs[i] = p
+		}
+		sys, err := platform.BuildTG(platform.Config{Cores: 2, Kernel: kernel}, progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(100_000); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Bus.BusyCycles(), sys.Bus.IdleCycles()
+	}
+	sb, si := run(platform.KernelStrict)
+	kb, ki := run(platform.KernelSkip)
+	if sb != kb || si != ki {
+		t.Fatalf("bus counters diverge: strict busy=%d idle=%d, skip busy=%d idle=%d", sb, si, kb, ki)
+	}
+	t.Logf("busy=%d idle=%d identical across kernels", sb, si)
+}
