@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench sweep paper clean
+.PHONY: all build test race vet fmt-check bench sweep scenarios golden paper clean
 
 all: build test
 
@@ -31,9 +31,18 @@ bench:
 sweep:
 	$(GO) run ./cmd/tgsweep -out results
 
+# make scenarios runs the stock pattern×topology scenario library.
+scenarios:
+	$(GO) run ./cmd/tgsweep -scenario library -out scenarios
+
+# make golden regenerates the golden regression snapshots after an
+# intentional model change.
+golden:
+	$(GO) test ./internal/sweep -run TestGolden -update
+
 # make paper regenerates the paper's evaluation in parallel.
 paper:
 	$(GO) run ./cmd/tgsweep -paper -sizes quick
 
 clean:
-	rm -rf bench results.json results.csv
+	rm -rf bench results.json results.csv scenarios.json scenarios.csv

@@ -12,6 +12,7 @@ import (
 	"noctg/internal/ocp"
 	"noctg/internal/platform"
 	"noctg/internal/prog"
+	"noctg/internal/scenario"
 	"noctg/internal/sim"
 	"noctg/internal/stochastic"
 	"noctg/internal/sweep"
@@ -136,6 +137,14 @@ type (
 	StochasticConfig = stochastic.Config
 	// Dist selects a stochastic inter-arrival distribution.
 	Dist = stochastic.Dist
+	// SpatialPattern selects a spatial destination pattern.
+	SpatialPattern = stochastic.Pattern
+	// Spatial configures a spatial pattern over a logical master grid.
+	Spatial = stochastic.Spatial
+	// SpatialSampler is a compiled spatial pattern (per-draw destinations).
+	SpatialSampler = stochastic.Sampler
+	// NoCTopology selects the ×pipes link structure (mesh or torus).
+	NoCTopology = noc.Topology
 )
 
 // Stochastic distributions (Lahiri et al. [6]).
@@ -148,6 +157,40 @@ const (
 	Poisson = stochastic.Poisson
 	// Bursty alternates back-to-back bursts with long off periods.
 	Bursty = stochastic.Bursty
+)
+
+// Spatial traffic patterns (the classic NoC evaluation set).
+const (
+	// UniformRandom draws destinations uniformly over all nodes.
+	UniformRandom = stochastic.UniformRandom
+	// Transpose sends node (x, y) to node (y, x) on a square grid.
+	Transpose = stochastic.Transpose
+	// BitComplement sends node i to ^i on a power-of-two grid.
+	BitComplement = stochastic.BitComplement
+	// BitReverse sends node i to its bit-reversed index.
+	BitReverse = stochastic.BitReverse
+	// Hotspot pulls a weighted fraction of traffic to hotspot nodes.
+	Hotspot = stochastic.Hotspot
+	// NearestNeighbor draws among the wrapped grid neighbours.
+	NearestNeighbor = stochastic.NearestNeighbor
+)
+
+// NoC topologies.
+const (
+	// Mesh is the open 2-D grid.
+	Mesh = noc.Mesh
+	// Torus closes rows and columns into deadlock-free rings.
+	Torus = noc.Torus
+)
+
+// Spatial pattern and topology helpers.
+var (
+	// ParsePattern converts a "-pattern" style string into a SpatialPattern.
+	ParsePattern = stochastic.ParsePattern
+	// NewSpatialSampler validates and compiles a spatial pattern.
+	NewSpatialSampler = stochastic.NewSampler
+	// ParseTopology converts a "mesh"/"torus" string into a NoCTopology.
+	ParseTopology = noc.ParseTopology
 )
 
 // Benchmarks (the paper's Table 2 workloads).
@@ -261,6 +304,29 @@ type (
 	Fig2aResult = exp.Fig2aResult
 	// Fig2bResult is the Figure 2(b) reactivity outcome.
 	Fig2bResult = exp.Fig2bResult
+)
+
+// Scenario types (the declarative layer over the sweep runner).
+type (
+	// ScenarioSpec is one declarative traffic scenario: fabric, topology,
+	// logical core grid, spatial pattern, injection distribution and the
+	// load/clock/seed axes.
+	ScenarioSpec = scenario.Spec
+)
+
+// Scenario entry points.
+var (
+	// ParseScenarios reads a scenario JSON file (one spec or an array).
+	ParseScenarios = scenario.Parse
+	// ScenarioLibrary returns the stock pattern × topology scenario set.
+	ScenarioLibrary = scenario.Library
+	// ScenarioByName returns one library scenario.
+	ScenarioByName = scenario.ByName
+	// ScenarioPoints compiles scenarios into runnable sweep points.
+	ScenarioPoints = scenario.Points
+	// ScenarioGrid returns the pattern × topology sweep the golden-file
+	// harness locks down.
+	ScenarioGrid = sweep.ScenarioGrid
 )
 
 // Parallel sweep entry points.

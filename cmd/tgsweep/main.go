@@ -8,8 +8,16 @@
 //
 //	tgsweep [-workers N] [-grid FILE|default] [-out BASE|-] [-maxcycles N]
 //	        [-kernel auto|strict|skip] [-cpuprofile FILE] [-memprofile FILE]
+//	tgsweep -scenario FILE|library # run declarative traffic scenarios
+//	tgsweep -print-scenarios       # dump the scenario library as a template
 //	tgsweep -print-grid            # dump the default grid as a template
 //	tgsweep -paper [-sizes quick|default] [-workers N]
+//
+// With -scenario, the sweep points come from a declarative scenario file
+// (internal/scenario JSON: fabric, topology, logical core grid, spatial
+// traffic pattern, injection distribution, load/clock/seed axes) instead
+// of a raw grid; "library" runs the stock pattern × topology evaluation
+// set. The artifacts are the same deterministic JSON/CSV files.
 //
 // With -paper, the paper's full evaluation (Table 2, the cross-interconnect
 // .tgp check, the overhead measurement, the ablations and the Figure 2
@@ -34,6 +42,7 @@ import (
 
 	"noctg/internal/exp"
 	"noctg/internal/platform"
+	"noctg/internal/scenario"
 	"noctg/internal/sweep"
 )
 
@@ -41,9 +50,11 @@ func main() {
 	var (
 		workers    = flag.Int("workers", 0, "worker pool size (0 = all host cores)")
 		gridPath   = flag.String("grid", "default", "grid JSON file, or \"default\" for the stock 16-point sweep")
+		scenPath   = flag.String("scenario", "", "scenario JSON file, or \"library\" for the stock pattern×topology set")
 		out        = flag.String("out", "results", "output basename (<out>.json and <out>.csv), or \"-\" for JSON on stdout")
 		maxCycles  = flag.Uint64("maxcycles", 0, "override the per-run simulated-cycle budget")
 		printGrid  = flag.Bool("print-grid", false, "print the default grid JSON and exit")
+		printScen  = flag.Bool("print-scenarios", false, "print the scenario library JSON and exit")
 		paper      = flag.Bool("paper", false, "run the paper's experiments as one parallel invocation")
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes for -paper: quick or default")
 		kernelFlag = flag.String("kernel", "auto", "simulation kernel: auto (skip for replay), strict or skip")
@@ -77,7 +88,11 @@ func main() {
 		g := sweep.DefaultGrid()
 		pts := g.Expand()
 		fmt.Fprintf(os.Stderr, "default grid: %d points\n", len(pts))
-		fail(writeGridJSON(os.Stdout, g))
+		fail(writeJSONIndent(os.Stdout, g))
+		return
+	}
+	if *printScen {
+		fail(writeJSONIndent(os.Stdout, scenario.Library()))
 		return
 	}
 	if *paper {
@@ -85,15 +100,32 @@ func main() {
 		return
 	}
 
-	grid := sweep.DefaultGrid()
-	if *gridPath != "default" {
-		f, err := os.Open(*gridPath)
+	var points []sweep.Point
+	switch {
+	case *scenPath != "":
+		specs := scenario.Library()
+		if *scenPath != "library" {
+			f, err := os.Open(*scenPath)
+			fail(err)
+			specs, err = scenario.Parse(f)
+			f.Close()
+			fail(err)
+		}
+		var err error
+		points, err = scenario.Points(specs)
 		fail(err)
-		grid, err = sweep.ParseGrid(f)
-		f.Close()
-		fail(err)
+		fmt.Fprintf(os.Stderr, "tgsweep: %d scenarios\n", len(specs))
+	default:
+		grid := sweep.DefaultGrid()
+		if *gridPath != "default" {
+			f, err := os.Open(*gridPath)
+			fail(err)
+			grid, err = sweep.ParseGrid(f)
+			f.Close()
+			fail(err)
+		}
+		points = grid.Expand()
 	}
-	points := grid.Expand()
 	fmt.Fprintf(os.Stderr, "tgsweep: %d configurations, %d workers\n", len(points), *workers)
 
 	start := time.Now()
@@ -145,10 +177,10 @@ func runPaper(sizesFlag string, workers int, kernel platform.KernelMode) {
 	fmt.Fprintf(os.Stderr, "tgsweep: paper evaluation in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-func writeGridJSON(f *os.File, g sweep.Grid) error {
+func writeJSONIndent(f *os.File, v any) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	return enc.Encode(g)
+	return enc.Encode(v)
 }
 
 func fail(err error) {

@@ -39,6 +39,27 @@
 // RunPaper regenerates the paper's whole evaluation as one parallel
 // invocation.
 //
+// # Spatial traffic patterns and scenarios
+//
+// Stochastic masters pair a temporal Dist (when to inject) with a spatial
+// pattern (where to send): UniformRandom, Transpose, BitComplement,
+// BitReverse, Hotspot and NearestNeighbor, the classic NoC evaluation set.
+// Patterns are defined over the logical W×H grid of masters — generator i
+// is node (i mod W, i div W) — and each logical destination d maps to core
+// d's private memory through the platform address map, so the same
+// scenario runs unchanged on the bus, the mesh and the torus. Semantics
+// worth knowing: Transpose requires a square grid and maps diagonal nodes
+// to themselves; the bit patterns require a power-of-two node count;
+// Hotspot weights must sum to at most 1 with the remainder spread
+// uniformly over unweighted nodes (excluding the source unless AllowSelf);
+// NearestNeighbor wraps at the logical grid edges. Randomized patterns
+// never draw the source unless AllowSelf is set. A ScenarioSpec bundles
+// pattern, fabric, topology and the load/clock/seed axes into a JSON
+// document executable via ScenarioPoints + SweepRunner or tgsweep
+// -scenario; the ×pipes torus adds wrap-around links with shortest-path
+// dimension-ordered routing and dateline virtual channels for ring
+// deadlock freedom.
+//
 // # Simulation kernels
 //
 // Two cycle-advance strategies drive every platform (PlatformConfig.Kernel,

@@ -1,7 +1,16 @@
 // Package noc models a ×pipes-style packet-switched Network-on-Chip: a 2-D
-// mesh of wormhole routers with XY (dimension-ordered) routing, round-robin
-// switch allocation and two virtual networks (request and response message
-// classes) for protocol-deadlock freedom.
+// mesh or torus of wormhole routers with dimension-ordered routing,
+// round-robin switch allocation and separate virtual networks for the
+// request and response message classes (protocol-deadlock freedom).
+//
+// On the torus every row and column closes into a ring (wrap-around links)
+// and routing takes the shorter way around each dimension, ties broken
+// toward east/south. Rings introduce cyclic channel dependencies that the
+// mesh does not have, so each message class owns a second "dateline"
+// virtual channel: a packet starts a dimension on the base VC and switches
+// to the dateline VC when it crosses that dimension's wrap link, which cuts
+// every ring cycle (the classical dateline scheme). Mesh networks never
+// occupy the dateline VCs, so their behaviour is unchanged.
 //
 // It presents the same ocp.MasterPort / ocp.Slave contract as the AMBA bus,
 // so IP cores and traffic generators move between interconnects unchanged —
@@ -19,12 +28,34 @@ import (
 )
 
 // Virtual channels: requests and responses travel in separate virtual
-// networks so a blocked response can never deadlock behind a request.
+// networks so a blocked response can never deadlock behind a request. Each
+// class also owns a dateline VC used only on torus wrap rings (see the
+// package comment); on a mesh the dateline VCs stay empty forever, and the
+// round-robin output arbiter skips empty VCs without disturbing the
+// relative req/resp ordering.
 const (
-	vcReq  = 0
-	vcResp = 1
-	numVC  = 2
+	vcReq    = 0
+	vcResp   = 1
+	vcReqDL  = 2
+	vcRespDL = 3
+	numVC    = 4
 )
+
+// datelineVC returns the dateline variant of a base-class VC.
+func datelineVC(vc int) int {
+	if vc == vcResp || vc == vcRespDL {
+		return vcRespDL
+	}
+	return vcReqDL
+}
+
+// baseVC returns the message-class VC of any VC.
+func baseVC(vc int) int {
+	if vc == vcResp || vc == vcRespDL {
+		return vcResp
+	}
+	return vcReq
+}
 
 // Router port directions.
 const (
@@ -50,10 +81,48 @@ func opposite(dir int) int {
 	return portL
 }
 
+// Topology selects the link structure of the fabric.
+type Topology int
+
+const (
+	// Mesh is the open 2-D grid: edge routers have no wrap links and
+	// dimension-ordered routing always travels monotonically.
+	Mesh Topology = iota
+	// Torus closes every row and column into a ring with wrap-around
+	// links; routing takes the shorter way around each dimension (ties
+	// toward east/south) and the dateline VCs keep the rings
+	// deadlock-free.
+	Torus
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Mesh:
+		return "mesh"
+	case Torus:
+		return "torus"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// ParseTopology converts a "mesh"/"torus" flag or JSON value into a
+// Topology. The empty string selects the mesh default.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "", "mesh":
+		return Mesh, nil
+	case "torus":
+		return Torus, nil
+	}
+	return 0, fmt.Errorf("noc: unknown topology %q (want mesh or torus)", s)
+}
+
 // Config holds the NoC parameters. Zero values take defaults.
 type Config struct {
-	// Width and Height give the mesh dimensions (default 4×3).
+	// Width and Height give the grid dimensions (default 4×3).
 	Width, Height int
+	// Topology selects mesh (default) or torus link structure.
+	Topology Topology
 	// BufferFlits is the per-input, per-VC FIFO depth (default 4).
 	BufferFlits int
 	// RespCycles is the NI-side response delivery latency (default 1).
@@ -144,13 +213,25 @@ func (f *fifo) pop() flit {
 	return fl
 }
 
-// router is one mesh node's switch.
+// hold records the input wormhole owning an (output, out-VC) channel.
+// Allocation is keyed by the *outgoing* VC: on a torus a dimension turn can
+// map the base and the dateline input VC of one class onto the same
+// downstream VC, and only an exclusive output-VC owner keeps the flits of
+// two such packets from interleaving in the downstream FIFO (wormhole
+// contiguity). On a mesh the input VC always equals the output VC, so this
+// is exactly the classic per-VC switch allocation.
+type hold struct {
+	in   int // input port, -1 when the channel is free
+	invc int // input VC the owning packet's flits arrive on
+}
+
+// router is one fabric node's switch.
 type router struct {
 	n     *Network
 	id    int
 	x, y  int
 	in    [numPorts][numVC]fifo
-	alloc [numPorts][numVC]int // input port holding each (output, vc) wormhole; -1 free
+	alloc [numPorts][numVC]hold // wormhole owner per (output, out-VC)
 	rrVC  [numPorts]int
 	rrIn  [numPorts][numVC]int
 	local localSink // attached NI, or nil
@@ -161,10 +242,29 @@ type localSink interface {
 	acceptFlit(fl flit, cycle uint64)
 }
 
-// route returns the output port for a flit headed to dst (XY routing).
+// route returns the output port for a flit headed to dst: XY
+// dimension-ordered routing, taking the shorter way around each ring on a
+// torus (a tie at exactly half the ring goes east/south, so every router
+// along the path agrees on the direction).
 func (r *router) route(dst int) int {
-	dx := (dst % r.n.cfg.Width) - r.x
-	dy := (dst / r.n.cfg.Width) - r.y
+	w, h := r.n.cfg.Width, r.n.cfg.Height
+	dx := (dst % w) - r.x
+	dy := (dst / w) - r.y
+	if r.n.cfg.Topology == Torus {
+		if dx != 0 {
+			if e := ((dx % w) + w) % w; 2*e <= w {
+				return portE
+			}
+			return portW
+		}
+		if dy != 0 {
+			if s := ((dy % h) + h) % h; 2*s <= h {
+				return portS
+			}
+			return portN
+		}
+		return portL
+	}
 	switch {
 	case dx > 0:
 		return portE
@@ -176,6 +276,53 @@ func (r *router) route(dst int) int {
 		return portN
 	}
 	return portL
+}
+
+// wraps reports whether this router's output dir is a torus wrap link (the
+// ring's dateline).
+func (r *router) wraps(dir int) bool {
+	if r.n.cfg.Topology != Torus {
+		return false
+	}
+	switch dir {
+	case portE:
+		return r.x == r.n.cfg.Width-1
+	case portW:
+		return r.x == 0
+	case portS:
+		return r.y == r.n.cfg.Height-1
+	case portN:
+		return r.y == 0
+	}
+	return false
+}
+
+// sameDim reports whether two router ports travel the same dimension.
+func sameDim(a, b int) bool {
+	ax := a == portE || a == portW
+	bx := b == portE || b == portW
+	ay := a == portN || a == portS
+	by := b == portN || b == portS
+	return (ax && bx) || (ay && by)
+}
+
+// outVC returns the virtual channel a flit leaves on when it arrived on
+// input port in / VC vc and departs through output o. On a mesh (and into
+// local sinks) the VC never changes. On a torus the dateline scheme
+// applies per dimension: crossing the wrap link moves the packet to its
+// class's dateline VC, continuing straight keeps the current VC, and
+// entering a dimension (injection or an XY turn) resets to the base VC.
+func (r *router) outVC(in, vc, o int) int {
+	if r.n.cfg.Topology != Torus || o == portL {
+		return vc
+	}
+	if r.wraps(o) {
+		return datelineVC(vc)
+	}
+	if sameDim(in, o) {
+		return vc
+	}
+	return baseVC(vc)
 }
 
 // downstreamSpace reports whether output dir of this router can accept a
@@ -214,33 +361,41 @@ func (r *router) tick(cycle uint64) {
 	}
 }
 
-func (r *router) tryForward(o, vc int, cycle uint64) bool {
-	if r.alloc[o][vc] < 0 {
-		// Allocate the wormhole to an input whose head flit requests o.
+// tryForward moves one flit through output o on outgoing VC ovc. The input
+// VC feeding an out-VC can be the same class's base or dateline VC (torus
+// turns reset the dateline bit, wrap links set it); the allocation fixes
+// one (input port, input VC) owner until the packet's tail passes.
+func (r *router) tryForward(o, ovc int, cycle uint64) bool {
+	if r.alloc[o][ovc].in < 0 {
+		// Allocate the wormhole to an input whose head flit requests o
+		// and would leave on ovc.
 		n := numPorts
+	scan:
 		for k := 0; k < n; k++ {
-			i := (r.rrIn[o][vc] + k) % n
-			q := &r.in[i][vc]
-			if q.empty() {
-				continue
+			i := (r.rrIn[o][ovc] + k) % n
+			for _, invc := range [2]int{baseVC(ovc), datelineVC(ovc)} {
+				q := &r.in[i][invc]
+				if q.empty() {
+					continue
+				}
+				fl := q.front()
+				if !fl.head() || fl.arrived >= cycle {
+					continue
+				}
+				if r.route(fl.pkt.dst) != o || r.outVC(i, invc, o) != ovc {
+					continue
+				}
+				r.alloc[o][ovc] = hold{in: i, invc: invc}
+				r.rrIn[o][ovc] = (i + 1) % n
+				break scan
 			}
-			fl := q.front()
-			if !fl.head() || fl.arrived >= cycle {
-				continue
-			}
-			if r.route(fl.pkt.dst) != o {
-				continue
-			}
-			r.alloc[o][vc] = i
-			r.rrIn[o][vc] = (i + 1) % n
-			break
 		}
 	}
-	i := r.alloc[o][vc]
-	if i < 0 {
+	a := r.alloc[o][ovc]
+	if a.in < 0 {
 		return false
 	}
-	q := &r.in[i][vc]
+	q := &r.in[a.in][a.invc]
 	if q.empty() {
 		return false
 	}
@@ -248,14 +403,14 @@ func (r *router) tryForward(o, vc int, cycle uint64) bool {
 	if fl.arrived >= cycle { // one hop per cycle
 		return false
 	}
-	if !r.downstreamSpace(o, vc) {
+	if !r.downstreamSpace(o, ovc) {
 		return false
 	}
 	moved := q.pop()
 	if moved.tail() {
-		r.alloc[o][vc] = -1
+		r.alloc[o][ovc] = hold{in: -1}
 	}
-	r.deliver(o, vc, moved, cycle)
+	r.deliver(o, ovc, moved, cycle)
 	return true
 }
 
@@ -279,7 +434,8 @@ type Network struct {
 	Counters    sim.Counters
 }
 
-// New builds a Width×Height mesh. now supplies the current engine cycle.
+// New builds a Width×Height mesh or torus. now supplies the current engine
+// cycle.
 func New(cfg Config, now func() uint64) *Network {
 	if now == nil {
 		panic("noc: New requires a cycle source")
@@ -290,7 +446,7 @@ func New(cfg Config, now func() uint64) *Network {
 		r := &router{n: n, id: id, x: id % n.cfg.Width, y: id / n.cfg.Width}
 		for o := 0; o < numPorts; o++ {
 			for v := 0; v < numVC; v++ {
-				r.alloc[o][v] = -1
+				r.alloc[o][v] = hold{in: -1}
 				r.in[o][v].init(n.cfg.BufferFlits)
 			}
 		}
@@ -321,8 +477,11 @@ func (n *Network) putPacket(p *packet) {
 // Config returns the effective configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// Nodes returns the number of mesh nodes.
+// Nodes returns the number of fabric nodes.
 func (n *Network) Nodes() int { return len(n.routers) }
+
+// Topology returns the fabric's link structure.
+func (n *Network) Topology() Topology { return n.cfg.Topology }
 
 // FlitsRouted returns the total number of link traversals.
 func (n *Network) FlitsRouted() uint64 { return n.flitsRouted }
@@ -338,6 +497,10 @@ func (n *Network) neighbor(id, dir int) *router {
 		x++
 	case portW:
 		x--
+	}
+	if n.cfg.Topology == Torus {
+		x = (x + n.cfg.Width) % n.cfg.Width
+		y = (y + n.cfg.Height) % n.cfg.Height
 	}
 	if x < 0 || x >= n.cfg.Width || y < 0 || y >= n.cfg.Height {
 		panic(fmt.Sprintf("noc: no neighbor %d of node %d", dir, id))

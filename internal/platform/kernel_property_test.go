@@ -3,12 +3,17 @@ package platform_test
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
 	"noctg/internal/core"
 	"noctg/internal/layout"
+	"noctg/internal/noc"
+	"noctg/internal/ocp"
 	"noctg/internal/platform"
+	"noctg/internal/sim"
+	"noctg/internal/stochastic"
 )
 
 // randomProgram emits a random but well-formed TGP program: bursts of
@@ -58,10 +63,29 @@ func randomProgram(r *rand.Rand, master, cores int) string {
 	return b.String()
 }
 
+// fabricVariants spans the interconnect configurations the kernel
+// equivalence properties must hold on: the AMBA bus, the ×pipes mesh and
+// the ×pipes torus (wrap links + dateline VCs).
+func fabricVariants() []struct {
+	name string
+	ic   platform.Interconnect
+	topo noc.Topology
+} {
+	return []struct {
+		name string
+		ic   platform.Interconnect
+		topo noc.Topology
+	}{
+		{"amba", platform.AMBA, noc.Mesh},
+		{"xpipes-mesh", platform.XPipes, noc.Mesh},
+		{"xpipes-torus", platform.XPipes, noc.Torus},
+	}
+}
+
 // TestKernelPropertyRandomPrograms is the property half of the equivalence
-// gate: for randomized TG programs on both fabrics, the strict and skip
-// kernels must agree on every master's halt cycle, the makespan, and the
-// final engine cycle count.
+// gate: for randomized TG programs on the bus, the mesh and the torus, the
+// strict and skip kernels must agree on every master's halt cycle, the
+// makespan, and the final engine cycle count.
 func TestKernelPropertyRandomPrograms(t *testing.T) {
 	const trials = 25
 	for trial := 0; trial < trials; trial++ {
@@ -75,18 +99,20 @@ func TestKernelPropertyRandomPrograms(t *testing.T) {
 			}
 			progs[i] = p
 		}
-		for _, ic := range []platform.Interconnect{platform.AMBA, platform.XPipes} {
+		for _, fv := range fabricVariants() {
 			run := func(kernel platform.KernelMode) (uint64, uint64, []uint64) {
 				t.Helper()
 				sys, err := platform.BuildTG(platform.Config{
-					Cores: cores, Interconnect: ic, Kernel: kernel,
+					Cores: cores, Interconnect: fv.ic,
+					NoC:    noc.Config{Topology: fv.topo},
+					Kernel: kernel,
 				}, progs)
 				if err != nil {
-					t.Fatalf("trial %d %v: %v", trial, ic, err)
+					t.Fatalf("trial %d %s: %v", trial, fv.name, err)
 				}
 				makespan, err := sys.Run(5_000_000)
 				if err != nil {
-					t.Fatalf("trial %d %v: %v", trial, ic, err)
+					t.Fatalf("trial %d %s: %v", trial, fv.name, err)
 				}
 				halts := make([]uint64, cores)
 				for i, m := range sys.Masters {
@@ -97,15 +123,96 @@ func TestKernelPropertyRandomPrograms(t *testing.T) {
 			mkS, cycS, haltS := run(platform.KernelStrict)
 			mkK, cycK, haltK := run(platform.KernelSkip)
 			if mkS != mkK || cycS != cycK {
-				t.Fatalf("trial %d %v: strict makespan %d (cycle %d) vs skip %d (cycle %d)",
-					trial, ic, mkS, cycS, mkK, cycK)
+				t.Fatalf("trial %d %s: strict makespan %d (cycle %d) vs skip %d (cycle %d)",
+					trial, fv.name, mkS, cycS, mkK, cycK)
 			}
 			for i := range haltS {
 				if haltS[i] != haltK[i] {
-					t.Fatalf("trial %d %v master %d: strict halt %d vs skip halt %d",
-						trial, ic, i, haltS[i], haltK[i])
+					t.Fatalf("trial %d %s master %d: strict halt %d vs skip halt %d",
+						trial, fv.name, i, haltS[i], haltK[i])
 				}
 			}
+		}
+	}
+}
+
+// TestKernelPropertyRandomScenarios samples the spatial scenario space:
+// random pattern × distribution × topology stochastic platforms must agree
+// between the kernels on makespan, engine cycle, per-master issue counts
+// and the full read-latency histograms.
+func TestKernelPropertyRandomScenarios(t *testing.T) {
+	const trials = 20
+	patterns := []stochastic.Pattern{
+		stochastic.UniformRandom, stochastic.Transpose, stochastic.BitComplement,
+		stochastic.BitReverse, stochastic.Hotspot, stochastic.NearestNeighbor,
+	}
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)*313 + 7))
+		// 2x2 keeps every pattern legal (square, power of two).
+		const w, h = 2, 2
+		cores := w * h
+		dests := make([]ocp.AddrRange, cores)
+		for d := range dests {
+			dests[d] = layout.PrivRange(d)
+		}
+		spatial := &stochastic.Spatial{
+			Pattern:   patterns[r.Intn(len(patterns))],
+			W:         w,
+			H:         h,
+			Dests:     dests,
+			AllowSelf: r.Intn(2) == 0,
+		}
+		if spatial.Pattern == stochastic.Hotspot {
+			spatial.HotspotWeights = []float64{0, 0.1 + 0.8*r.Float64()}
+		}
+		scfg := stochastic.Config{
+			Dist:    stochastic.Dist(r.Intn(4)),
+			MeanGap: 2 + 20*r.Float64(),
+			Count:   100 + r.Intn(200),
+			Seed:    int64(trial),
+			Spatial: spatial,
+		}
+		fv := fabricVariants()[r.Intn(3)]
+
+		run := func(kernel platform.KernelMode) (uint64, uint64, []int, []sim.HistogramSnapshot) {
+			t.Helper()
+			var gens []*stochastic.Generator
+			sys, err := platform.Build(platform.Config{
+				Cores: cores, Interconnect: fv.ic,
+				NoC:    noc.Config{Topology: fv.topo},
+				Kernel: kernel,
+			}, func(_ *platform.System, id int, port ocp.MasterPort) platform.Master {
+				g := stochastic.New(id, scfg, port)
+				gens = append(gens, g)
+				return g
+			})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, fv.name, err)
+			}
+			makespan, err := sys.Run(5_000_000)
+			if err != nil {
+				t.Fatalf("trial %d %s (%v/%v): %v", trial, fv.name, scfg.Dist, spatial.Pattern, err)
+			}
+			issued := make([]int, len(gens))
+			hists := make([]sim.HistogramSnapshot, len(gens))
+			for i, g := range gens {
+				issued[i] = g.Issued()
+				hists[i] = g.Latency.Snapshot()
+			}
+			return makespan, sys.Engine.Cycle(), issued, hists
+		}
+		mkS, cycS, issS, histS := run(platform.KernelStrict)
+		mkK, cycK, issK, histK := run(platform.KernelSkip)
+		if mkS != mkK || cycS != cycK {
+			t.Fatalf("trial %d %s %v/%v: strict makespan %d (cycle %d) vs skip %d (cycle %d)",
+				trial, fv.name, scfg.Dist, spatial.Pattern, mkS, cycS, mkK, cycK)
+		}
+		if !reflect.DeepEqual(issS, issK) {
+			t.Fatalf("trial %d %s: issue counts diverged: %v vs %v", trial, fv.name, issS, issK)
+		}
+		if !reflect.DeepEqual(histS, histK) {
+			t.Fatalf("trial %d %s: latency histograms diverged:\nstrict: %+v\nskip:   %+v",
+				trial, fv.name, histS, histK)
 		}
 	}
 }

@@ -203,7 +203,10 @@ func Build(cfg Config, factory MasterFactory) (*System, error) {
 	case XPipes:
 		ncfg := cfg.NoC
 		if ncfg.Width == 0 && ncfg.Height == 0 {
-			ncfg = autoMesh(cfg.Cores)
+			// Auto-size only the dimensions: topology and buffer depth are
+			// orthogonal knobs and must survive the sizing.
+			m := autoMesh(cfg.Cores)
+			ncfg.Width, ncfg.Height = m.Width, m.Height
 		}
 		// Masters fill from the front, slaves from the back, and one spare
 		// node keeps them apart — verify the *effective* geometry (partial

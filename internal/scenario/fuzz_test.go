@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary bytes must never panic the scenario loader —
+// malformed topology sizes, unknown patterns and hotspot weights past unit
+// mass are errors, and every accepted scenario must survive validation and
+// grid compilation.
+func FuzzParse(f *testing.F) {
+	f.Add(validSpecJSON())
+	f.Add("[" + validSpecJSON() + "]")
+	f.Add(`{"name":"h","fabric":"amba","width":2,"height":2,"pattern":"hotspot","hotspot":[0.5,0.6]}`)
+	f.Add(`{"name":"x","fabric":"xpipes","topology":"ring","width":2,"height":2,"pattern":"uniform"}`)
+	f.Add(`{"name":"x","fabric":"xpipes","width":-1,"height":1099511627776,"pattern":"uniform"}`)
+	f.Add(`{"name":"x","fabric":"amba","width":3,"height":3,"pattern":"bitrev"}`)
+	f.Add(`{"name":"x","fabric":"amba","width":4,"height":2,"pattern":"transpose","mean_gaps":[1e308,0,-5]}`)
+	f.Add(`{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","hotspot":[0.1]}`)
+	f.Add(`[{},{},{}]`)
+	f.Add(`{"name":"x"`)
+	f.Fuzz(func(t *testing.T, src string) {
+		specs, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted scenarios must compile into runnable grids: the loader
+		// promised they are valid.
+		pts, err := Points(specs)
+		if err != nil {
+			t.Fatalf("accepted scenarios fail to expand: %v\n%s", err, src)
+		}
+		if len(pts) == 0 {
+			t.Fatalf("accepted scenarios expand to no points:\n%s", src)
+		}
+	})
+}

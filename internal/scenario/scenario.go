@@ -1,0 +1,269 @@
+// Package scenario is the declarative layer over the sweep runner: a
+// Spec names one synthetic NoC evaluation scenario — fabric, topology, a
+// logical W×H core grid, a spatial traffic pattern, an injection
+// distribution and the load/clock/seed axes — and compiles into sweep grid
+// points that run on the existing parallel runner with the same
+// deterministic JSON/CSV artifacts.
+//
+// Scenario files are JSON: either one Spec object or an array of them.
+// Unknown fields, malformed grids, unknown patterns and over-unit hotspot
+// weights are rejected at load time (never a panic — the fuzz target feeds
+// the loader garbage), so a bad scenario fails before any engine is built.
+//
+// The Library holds the classic evaluation set — every spatial pattern
+// crossed with the mesh and torus fabrics — as ready-to-run specs.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"noctg/internal/noc"
+	"noctg/internal/stochastic"
+	"noctg/internal/sweep"
+)
+
+// Spec is one declarative scenario. The zero values of the optional axes
+// take the sweep defaults (one 5 ns clock, seed 1, mean gap 10).
+type Spec struct {
+	// Name labels the scenario in artifacts and reports.
+	Name string `json:"name"`
+	// Fabric is "amba" or "xpipes".
+	Fabric string `json:"fabric"`
+	// Topology selects the ×pipes link structure: "mesh" (default) or
+	// "torus". It must be empty for the AMBA bus.
+	Topology string `json:"topology,omitempty"`
+	// Width and Height give the logical core grid; Width·Height masters
+	// are generated and the spatial pattern is defined over this grid.
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// MeshWidth / MeshHeight optionally pin the physical ×pipes grid
+	// (zero auto-sizes it to the core count).
+	MeshWidth  int `json:"mesh_width,omitempty"`
+	MeshHeight int `json:"mesh_height,omitempty"`
+	// BufferFlits is the router FIFO depth (default 4).
+	BufferFlits int `json:"buffer_flits,omitempty"`
+	// MemWaitStates is the intrinsic slave access time (default 1).
+	MemWaitStates uint64 `json:"mem_wait_states,omitempty"`
+	// Pattern is the spatial destination pattern: uniform, transpose,
+	// bitcomp, bitrev, hotspot or neighbor.
+	Pattern string `json:"pattern"`
+	// Hotspot gives the per-node traffic fractions of the hotspot
+	// pattern (index = logical node, sum <= 1).
+	Hotspot []float64 `json:"hotspot,omitempty"`
+	// AllowSelf permits a randomized pattern to target its own node.
+	AllowSelf bool `json:"allow_self,omitempty"`
+	// Dist is the injection (inter-arrival) distribution: uniform,
+	// gaussian, poisson or bursty. Default poisson.
+	Dist string `json:"dist,omitempty"`
+	// MeanGaps is the load axis: one grid point per mean
+	// inter-transaction gap in cycles (smaller gap = higher load).
+	MeanGaps []float64 `json:"mean_gaps,omitempty"`
+	// Count is the per-master transaction count (default 1000).
+	Count int `json:"count,omitempty"`
+	// ClockPeriodsNS and Seeds are the remaining sweep axes.
+	ClockPeriodsNS []uint64 `json:"clock_periods_ns,omitempty"`
+	Seeds          []int64  `json:"seeds,omitempty"`
+}
+
+// withDefaults resolves the optional fields.
+func (s Spec) withDefaults() Spec {
+	if s.Dist == "" {
+		s.Dist = "poisson"
+	}
+	if len(s.MeanGaps) == 0 {
+		s.MeanGaps = []float64{10}
+	}
+	return s
+}
+
+// workloads expands the load axis into sweep workloads.
+func (s Spec) workloads() []sweep.Workload {
+	s = s.withDefaults()
+	ws := make([]sweep.Workload, len(s.MeanGaps))
+	for i, gap := range s.MeanGaps {
+		ws[i] = sweep.Workload{
+			Kind:      sweep.KindStochastic,
+			Dist:      s.Dist,
+			Cores:     s.Width * s.Height,
+			MeanGap:   gap,
+			Count:     s.Count,
+			Pattern:   s.Pattern,
+			PatternW:  s.Width,
+			PatternH:  s.Height,
+			Hotspot:   s.Hotspot,
+			AllowSelf: s.AllowSelf,
+		}
+	}
+	return ws
+}
+
+// fabric builds the sweep fabric of the scenario.
+func (s Spec) fabric() sweep.Fabric {
+	return sweep.Fabric{
+		Interconnect:  s.Fabric,
+		Topology:      s.Topology,
+		MeshWidth:     s.MeshWidth,
+		MeshHeight:    s.MeshHeight,
+		BufferFlits:   s.BufferFlits,
+		MemWaitStates: s.MemWaitStates,
+	}
+}
+
+// Grid compiles the scenario into a validated sweep grid (loads × one
+// fabric × clocks × seeds).
+func (s Spec) Grid() (sweep.Grid, error) {
+	if err := s.Validate(); err != nil {
+		return sweep.Grid{}, err
+	}
+	g := sweep.Grid{
+		Workloads:      s.workloads(),
+		Fabrics:        []sweep.Fabric{s.fabric()},
+		ClockPeriodsNS: s.ClockPeriodsNS,
+		Seeds:          s.Seeds,
+	}
+	if err := g.Validate(); err != nil {
+		return sweep.Grid{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return g, nil
+}
+
+// maxCount bounds the per-master transaction count a scenario file may
+// request, so a hostile file cannot lock a sweep worker into a
+// multi-billion-transaction run.
+const maxCount = 10_000_000
+
+// Validate checks the scenario without building anything. All structural
+// pattern errors (non-square transpose, non-power-of-two bit patterns,
+// hotspot weights past unit mass) surface here through the stochastic
+// validator.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	d := s.withDefaults()
+	if s.Width < 1 || s.Height < 1 {
+		return fmt.Errorf("scenario %q: core grid %dx%d must be at least 1x1", s.Name, s.Width, s.Height)
+	}
+	if s.Width > stochastic.MaxGridDim || s.Height > stochastic.MaxGridDim {
+		return fmt.Errorf("scenario %q: core grid %dx%d exceeds %dx%d",
+			s.Name, s.Width, s.Height, stochastic.MaxGridDim, stochastic.MaxGridDim)
+	}
+	if s.MeshWidth > stochastic.MaxGridDim || s.MeshHeight > stochastic.MaxGridDim {
+		return fmt.Errorf("scenario %q: mesh %dx%d exceeds %dx%d",
+			s.Name, s.MeshWidth, s.MeshHeight, stochastic.MaxGridDim, stochastic.MaxGridDim)
+	}
+	if _, err := stochastic.ParsePattern(d.Pattern); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	switch s.Fabric {
+	case sweep.FabricAMBA, sweep.FabricXPipes:
+	default:
+		return fmt.Errorf("scenario %q: unknown fabric %q", s.Name, s.Fabric)
+	}
+	if _, err := noc.ParseTopology(s.Topology); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if s.Fabric == sweep.FabricAMBA && s.Topology != "" {
+		return fmt.Errorf("scenario %q: topology %q needs the xpipes fabric", s.Name, s.Topology)
+	}
+	if s.MeshWidth < 0 || s.MeshHeight < 0 {
+		return fmt.Errorf("scenario %q: negative mesh dimensions %dx%d", s.Name, s.MeshWidth, s.MeshHeight)
+	}
+	if s.BufferFlits < 0 {
+		return fmt.Errorf("scenario %q: negative buffer depth %d", s.Name, s.BufferFlits)
+	}
+	if s.Count < 0 || s.Count > maxCount {
+		return fmt.Errorf("scenario %q: count %d outside [0, %d]", s.Name, s.Count, maxCount)
+	}
+	for i, gap := range d.MeanGaps {
+		// The generator treats gap <= 0 as "use the default", which would
+		// silently change the declared load; demand explicit sane loads.
+		if gap <= 0 || gap > 1e9 || gap != gap {
+			return fmt.Errorf("scenario %q: mean gap %d is %g, want (0, 1e9]", s.Name, i, gap)
+		}
+	}
+	for _, w := range d.workloads() {
+		if err := (sweep.Grid{Workloads: []sweep.Workload{w},
+			Fabrics: []sweep.Fabric{d.fabric()}}).Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Points compiles a scenario list into one flat, sequentially numbered
+// sweep point list, ready for sweep.Runner. Scenarios expand in order, so
+// the artifact layout is deterministic.
+func Points(specs []Spec) ([]sweep.Point, error) {
+	var pts []sweep.Point
+	for i, s := range specs {
+		g, err := s.Grid()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
+		}
+		for _, p := range g.Expand() {
+			p.ID = len(pts)
+			pts = append(pts, p)
+		}
+	}
+	return pts, nil
+}
+
+// maxFileSpecs bounds a scenario file's expansion.
+const maxFileSpecs = 4096
+
+// Parse reads a scenario file: one JSON Spec object or an array of them.
+// Unknown fields are rejected, every spec is validated, and malformed
+// input yields an error, never a panic.
+func Parse(r io.Reader) ([]Spec, error) {
+	data, err := io.ReadAll(io.LimitReader(r, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: reading: %w", err)
+	}
+	// Dispatch on the leading token rather than try-and-fallback, so an
+	// object-shaped file with a typo reports the useful object-decode
+	// error (e.g. the unknown field name), not an array-shape mismatch.
+	var specs []Spec
+	if trimmed := bytes.TrimLeft(data, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+		if specs, err = parseAs[[]Spec](data); err != nil {
+			return nil, fmt.Errorf("scenario: parsing: %w", err)
+		}
+	} else {
+		one, err := parseAs[Spec](data)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: parsing: %w", err)
+		}
+		specs = []Spec{one}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("scenario: file holds no scenarios")
+	}
+	if len(specs) > maxFileSpecs {
+		return nil, fmt.Errorf("scenario: %d scenarios exceed the %d limit", len(specs), maxFileSpecs)
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
+		}
+	}
+	return specs, nil
+}
+
+// parseAs decodes strict JSON into T, rejecting unknown fields and
+// trailing garbage.
+func parseAs[T any](data []byte) (T, error) {
+	var v T
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, err
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return v, fmt.Errorf("scenario: trailing data after JSON document")
+	}
+	return v, nil
+}

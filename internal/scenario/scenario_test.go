@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"noctg/internal/platform"
+	"noctg/internal/sweep"
+)
+
+func validSpecJSON() string {
+	return `{
+		"name": "transpose-torus",
+		"fabric": "xpipes",
+		"topology": "torus",
+		"width": 2, "height": 2,
+		"pattern": "transpose",
+		"dist": "poisson",
+		"mean_gaps": [8],
+		"count": 100
+	}`
+}
+
+func TestParseSingleObjectAndArray(t *testing.T) {
+	one, err := Parse(strings.NewReader(validSpecJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Name != "transpose-torus" {
+		t.Fatalf("parsed %+v", one)
+	}
+	many, err := Parse(strings.NewReader("[" + validSpecJSON() + "," + validSpecJSON() + "]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != 2 {
+		t.Fatalf("parsed %d specs, want 2", len(many))
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"not json", "pattern: uniform"},
+		{"empty array", "[]"},
+		{"unknown field", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","bandwidth":9}`},
+		{"unknown pattern", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"zipf"}`},
+		{"unknown fabric", `{"name":"x","fabric":"crossbar","width":2,"height":1,"pattern":"uniform"}`},
+		{"unknown topology", `{"name":"x","fabric":"xpipes","topology":"ring","width":2,"height":1,"pattern":"uniform"}`},
+		{"amba topology", `{"name":"x","fabric":"amba","topology":"torus","width":2,"height":1,"pattern":"uniform"}`},
+		{"zero grid", `{"name":"x","fabric":"amba","width":0,"height":0,"pattern":"uniform"}`},
+		{"negative width", `{"name":"x","fabric":"amba","width":-4,"height":2,"pattern":"uniform"}`},
+		{"huge grid", `{"name":"x","fabric":"amba","width":100000,"height":100000,"pattern":"uniform"}`},
+		{"one node", `{"name":"x","fabric":"amba","width":1,"height":1,"pattern":"uniform"}`},
+		{"transpose rectangular", `{"name":"x","fabric":"amba","width":4,"height":2,"pattern":"transpose"}`},
+		{"bitcomp non-pow2", `{"name":"x","fabric":"amba","width":3,"height":2,"pattern":"bitcomp"}`},
+		{"hotspot past unit", `{"name":"x","fabric":"amba","width":2,"height":2,"pattern":"hotspot","hotspot":[0.7,0.7]}`},
+		{"hotspot negative", `{"name":"x","fabric":"amba","width":2,"height":2,"pattern":"hotspot","hotspot":[-1,0.5]}`},
+		{"bad dist", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","dist":"cauchy"}`},
+		{"zero gap", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","mean_gaps":[0]}`},
+		{"negative gap", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","mean_gaps":[-3]}`},
+		{"huge count", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","count":99999999999}`},
+		{"missing name", `{"fabric":"amba","width":2,"height":1,"pattern":"uniform"}`},
+		{"trailing garbage", validSpecJSON() + "tail"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(strings.NewReader(tc.src)); err == nil {
+			t.Fatalf("%s: Parse accepted %q", tc.name, tc.src)
+		}
+	}
+}
+
+func TestLibraryCompiles(t *testing.T) {
+	specs := Library()
+	if len(specs) == 0 {
+		t.Fatal("empty library")
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("library scenario %q invalid: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate library scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	pts, err := Points(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 xpipes pattern×topology scenarios + 1 amba, 2 loads each.
+	if want := len(specs) * 2; len(pts) != want {
+		t.Fatalf("library expands to %d points, want %d", len(pts), want)
+	}
+	for i, p := range pts {
+		if p.ID != i {
+			t.Fatalf("point %d has ID %d; scenario expansion must number sequentially", i, p.ID)
+		}
+	}
+	if _, err := ByName("transpose-torus"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName must reject unknown scenarios")
+	}
+}
+
+// TestLibraryKernelDifferential is the scenario half of the equivalence
+// gate: every library scenario — all six spatial patterns on mesh, torus
+// and the AMBA bus — must produce byte-identical sweep artifacts under the
+// strict and the idle-skipping kernel.
+func TestLibraryKernelDifferential(t *testing.T) {
+	pts, err := Points(Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := sweep.Runner{Kernel: platform.KernelStrict}.Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip, err := sweep.Runner{Kernel: platform.KernelSkip}.Run(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range strict {
+		if strict[i].Err != "" {
+			t.Fatalf("strict point %d (%s @ %s): %s", i, strict[i].Workload, strict[i].Fabric, strict[i].Err)
+		}
+	}
+	var js, jk, cs, ck bytes.Buffer
+	if err := sweep.WriteJSON(&js, strict); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.WriteJSON(&jk, skip); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js.Bytes(), jk.Bytes()) {
+		t.Fatal("scenario JSON artifacts differ between strict and skip kernels")
+	}
+	if err := sweep.WriteCSV(&cs, strict); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.WriteCSV(&ck, skip); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cs.Bytes(), ck.Bytes()) {
+		t.Fatal("scenario CSV artifacts differ between strict and skip kernels")
+	}
+}
+
+// TestSpecGridRoundTrip: a parsed scenario compiles into a grid whose
+// labels carry the pattern and topology, so artifacts stay self-describing.
+func TestSpecGridRoundTrip(t *testing.T) {
+	specs, err := Parse(strings.NewReader(validSpecJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := specs[0].Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := g.Expand()
+	if len(pts) != 1 {
+		t.Fatalf("expanded %d points, want 1", len(pts))
+	}
+	label := pts[0].Label()
+	for _, want := range []string{"transpose", "torus", "poisson"} {
+		if !strings.Contains(label, want) {
+			t.Fatalf("label %q does not mention %s", label, want)
+		}
+	}
+}

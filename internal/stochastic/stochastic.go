@@ -5,6 +5,13 @@
 // of correlation within the communication transactions which is unlikely in
 // a SoC environment"; the ablation benches quantify that claim against
 // trace-driven TGs.
+//
+// Orthogonally to the temporal Dist, a Spatial pattern shapes *where* the
+// traffic goes: the classic NoC evaluation set (uniform random, transpose,
+// bit-complement, bit-reverse, hotspot, nearest-neighbour) defined over a
+// logical grid of masters, with each logical destination mapped onto a
+// slave address range through the platform's address map. Dist × Pattern
+// spans the synthetic scenario space of internal/scenario.
 package stochastic
 
 import (
@@ -57,8 +64,14 @@ type Config struct {
 	BurstLen int
 	// ReadFraction is the probability a transaction is a read (default 0.6).
 	ReadFraction float64
-	// Ranges are the target address ranges, picked uniformly.
+	// Ranges are the target address ranges, picked uniformly. Ignored
+	// when Spatial is set.
 	Ranges []ocp.AddrRange
+	// Spatial selects a spatial destination pattern: each transaction's
+	// target node comes from the pattern over the logical master grid,
+	// and the address is drawn uniformly inside that node's range. The
+	// generator id is its logical grid position.
+	Spatial *Spatial
 	// Count is the number of transactions to issue.
 	Count int
 	// Seed makes the generator deterministic.
@@ -95,10 +108,11 @@ const (
 
 // Generator is a stochastic OCP master. It implements platform.Master.
 type Generator struct {
-	cfg  Config
-	rng  *rand.Rand
-	port ocp.MasterPort
-	id   int
+	cfg     Config
+	rng     *rand.Rand
+	port    ocp.MasterPort
+	id      int
+	sampler *Sampler // non-nil when cfg.Spatial is set
 
 	issued int
 	// wakeAt is the absolute cycle at which the next transaction is built
@@ -116,12 +130,24 @@ type Generator struct {
 	Latency *sim.Histogram
 }
 
-// New builds a stochastic master with the given id over port.
+// New builds a stochastic master with the given id over port. With a
+// spatial pattern configured, id is the generator's logical grid node and
+// must lie inside the pattern grid.
 func New(id int, cfg Config, port ocp.MasterPort) *Generator {
 	if port == nil {
 		panic("stochastic: New requires a port")
 	}
-	if len(cfg.Ranges) == 0 {
+	var sampler *Sampler
+	if cfg.Spatial != nil {
+		var err error
+		if sampler, err = NewSampler(*cfg.Spatial); err != nil {
+			panic(err.Error())
+		}
+		if id < 0 || id >= sampler.Nodes() {
+			panic(fmt.Sprintf("stochastic: generator %d outside the %dx%d pattern grid",
+				id, cfg.Spatial.W, cfg.Spatial.H))
+		}
+	} else if len(cfg.Ranges) == 0 {
 		panic("stochastic: Config.Ranges must not be empty")
 	}
 	cfg = cfg.withDefaults()
@@ -130,6 +156,7 @@ func New(id int, cfg Config, port ocp.MasterPort) *Generator {
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
 		port:    port,
 		id:      id,
+		sampler: sampler,
 		Latency: sim.NewHistogram(4, 8, 16, 32, 64, 128, 256),
 	}
 }
@@ -172,9 +199,16 @@ func (g *Generator) nextGap() uint64 {
 	return uint64(g.cfg.MeanGap)
 }
 
-// nextRequest draws the next transaction.
+// nextRequest draws the next transaction: the spatial pattern (or the
+// uniform range pick) chooses where, then a word inside that range and the
+// read/write coin choose what.
 func (g *Generator) nextRequest() ocp.Request {
-	r := g.cfg.Ranges[g.rng.Intn(len(g.cfg.Ranges))]
+	var r ocp.AddrRange
+	if g.sampler != nil {
+		r = g.sampler.Range(g.sampler.Dest(g.id, g.rng))
+	} else {
+		r = g.cfg.Ranges[g.rng.Intn(len(g.cfg.Ranges))]
+	}
 	words := r.Size / 4
 	addr := r.Base + uint32(g.rng.Intn(int(words)))*4
 	if g.rng.Float64() < g.cfg.ReadFraction {

@@ -58,6 +58,52 @@ func TestKernelDifferentialGrid(t *testing.T) {
 	}
 }
 
+// TestKernelDifferentialScenarios extends the equivalence gate over the
+// scenario space: every spatial pattern × fabric topology point of
+// ScenarioGrid must produce byte-identical JSON and CSV artifacts under
+// the strict and the idle-skipping kernel.
+func TestKernelDifferentialScenarios(t *testing.T) {
+	points := ScenarioGrid().Expand()
+
+	strict, err := Runner{Kernel: platform.KernelStrict}.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip, err := Runner{Kernel: platform.KernelSkip}.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range strict {
+		if strict[i].Err != "" {
+			t.Fatalf("strict point %d (%s @ %s): %s", i, strict[i].Workload, strict[i].Fabric, strict[i].Err)
+		}
+		if !reflect.DeepEqual(strict[i], skip[i]) {
+			t.Fatalf("point %d (%s @ %s) diverged:\nstrict: %+v\nskip:   %+v",
+				i, strict[i].Workload, strict[i].Fabric, strict[i], skip[i])
+		}
+	}
+
+	var js, jk, cs, ck bytes.Buffer
+	if err := WriteJSON(&js, strict); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&jk, skip); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js.Bytes(), jk.Bytes()) {
+		t.Fatal("scenario JSON artifacts differ between strict and skip kernels")
+	}
+	if err := WriteCSV(&cs, strict); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&ck, skip); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cs.Bytes(), ck.Bytes()) {
+		t.Fatal("scenario CSV artifacts differ between strict and skip kernels")
+	}
+}
+
 // TestKernelDifferentialPaper runs every paper experiment family under both
 // kernels and asserts the simulated-state results (makespans, poll counts,
 // program equality — everything except host wall-clock) are identical.

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"io"
 
+	"noctg/internal/layout"
+	"noctg/internal/noc"
+	"noctg/internal/ocp"
 	"noctg/internal/platform"
 	"noctg/internal/prog"
 	"noctg/internal/stochastic"
@@ -41,14 +44,74 @@ type Workload struct {
 	MeanGap float64 `json:"mean_gap,omitempty"`
 	// Count is the per-master stochastic transaction count (default 1000).
 	Count int `json:"count,omitempty"`
+	// Pattern selects a spatial destination pattern for KindStochastic:
+	// uniform, transpose, bitcomp, bitrev, hotspot or neighbor. Empty
+	// keeps the legacy shared-memory target. Master i is logical node i
+	// of the PatternW×PatternH grid (PatternW·PatternH == Cores) and
+	// node d's traffic lands in core d's private memory.
+	Pattern string `json:"pattern,omitempty"`
+	// PatternW, PatternH are the logical grid dimensions of the pattern.
+	PatternW int `json:"pattern_w,omitempty"`
+	PatternH int `json:"pattern_h,omitempty"`
+	// Hotspot gives the per-node traffic fractions of the hotspot
+	// pattern (index = logical node, sum <= 1).
+	Hotspot []float64 `json:"hotspot,omitempty"`
+	// AllowSelf permits a randomized pattern to target its own node.
+	AllowSelf bool `json:"allow_self,omitempty"`
 }
 
 // Label is a compact human-readable workload name, stable across runs.
 func (w Workload) Label() string {
 	if w.Kind == KindStochastic {
+		if w.Pattern != "" {
+			return fmt.Sprintf("stochastic-%s-%s%dx%d/%dP/%d",
+				w.Dist, w.Pattern, w.PatternW, w.PatternH, w.Cores, w.Count)
+		}
 		return fmt.Sprintf("stochastic-%s/%dP/%d", w.Dist, w.Cores, w.Count)
 	}
 	return fmt.Sprintf("%s/%dP/%d", w.Bench, w.Cores, w.Size)
+}
+
+// spatial builds the stochastic Spatial configuration of a pattern
+// workload: the logical grid is the core set, and node d's traffic lands
+// in core d's private memory through the platform address map.
+func (w Workload) spatial() (*stochastic.Spatial, error) {
+	if w.Pattern == "" {
+		return nil, nil
+	}
+	pat, err := stochastic.ParsePattern(w.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	if w.PatternW < 1 || w.PatternH < 1 {
+		return nil, fmt.Errorf("sweep: pattern grid %dx%d must be at least 1x1", w.PatternW, w.PatternH)
+	}
+	// Bound the dimensions before the product check and the destination
+	// table: a hostile grid file must fail fast, not allocate.
+	if w.PatternW > stochastic.MaxGridDim || w.PatternH > stochastic.MaxGridDim {
+		return nil, fmt.Errorf("sweep: pattern grid %dx%d exceeds %dx%d",
+			w.PatternW, w.PatternH, stochastic.MaxGridDim, stochastic.MaxGridDim)
+	}
+	if w.PatternW > w.Cores || w.PatternH > w.Cores || w.PatternW*w.PatternH != w.Cores {
+		return nil, fmt.Errorf("sweep: pattern grid %dx%d does not tile %d cores",
+			w.PatternW, w.PatternH, w.Cores)
+	}
+	dests := make([]ocp.AddrRange, w.Cores)
+	for d := range dests {
+		dests[d] = layout.PrivRange(d)
+	}
+	s := &stochastic.Spatial{
+		Pattern:        pat,
+		W:              w.PatternW,
+		H:              w.PatternH,
+		Dests:          dests,
+		HotspotWeights: w.Hotspot,
+		AllowSelf:      w.AllowSelf,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // spec builds the benchmark spec for a TG workload. The prog constructors
@@ -106,6 +169,12 @@ func (w Workload) validate() error {
 		if w.Cores <= 0 {
 			return fmt.Errorf("sweep: stochastic workload needs cores > 0")
 		}
+		if _, err := w.spatial(); err != nil {
+			return err
+		}
+		if w.Pattern == "" && (w.PatternW != 0 || w.PatternH != 0 || len(w.Hotspot) != 0) {
+			return fmt.Errorf("sweep: pattern grid/weights set without a pattern")
+		}
 	default:
 		return fmt.Errorf("sweep: unknown workload kind %q", w.Kind)
 	}
@@ -122,8 +191,11 @@ const (
 type Fabric struct {
 	// Interconnect is FabricAMBA or FabricXPipes.
 	Interconnect string `json:"interconnect"`
-	// MeshWidth / MeshHeight give the ×pipes mesh dimensions; both zero
-	// auto-sizes the mesh to the core count.
+	// Topology selects the ×pipes link structure: "mesh" (default) or
+	// "torus" (wrap-around rings, shortest-path routing).
+	Topology string `json:"topology,omitempty"`
+	// MeshWidth / MeshHeight give the ×pipes grid dimensions; both zero
+	// auto-sizes the grid to the core count.
 	MeshWidth  int `json:"mesh_width,omitempty"`
 	MeshHeight int `json:"mesh_height,omitempty"`
 	// BufferFlits is the per-input, per-VC router FIFO depth (default 4).
@@ -136,6 +208,9 @@ type Fabric struct {
 func (f Fabric) Label() string {
 	s := f.Interconnect
 	if f.Interconnect == FabricXPipes {
+		if f.Topology != "" && f.Topology != "mesh" {
+			s += "-" + f.Topology
+		}
 		if f.MeshWidth > 0 || f.MeshHeight > 0 {
 			s += fmt.Sprintf("-%dx%d", f.MeshWidth, f.MeshHeight)
 		}
@@ -152,11 +227,23 @@ func (f Fabric) Label() string {
 func (f Fabric) interconnect() (platform.Interconnect, error) {
 	switch f.Interconnect {
 	case FabricAMBA:
+		if f.Topology != "" {
+			return 0, fmt.Errorf("sweep: topology %q is a ×pipes knob, not an AMBA one", f.Topology)
+		}
 		return platform.AMBA, nil
 	case FabricXPipes:
+		if _, err := noc.ParseTopology(f.Topology); err != nil {
+			return 0, err
+		}
 		return platform.XPipes, nil
 	}
 	return 0, fmt.Errorf("sweep: unknown interconnect %q", f.Interconnect)
+}
+
+// topology resolves the ×pipes topology (mesh unless set).
+func (f Fabric) topology() noc.Topology {
+	t, _ := noc.ParseTopology(f.Topology)
+	return t
 }
 
 // Grid is the cross product of workloads × fabrics × clock periods × seeds.
@@ -272,6 +359,41 @@ func DefaultGrid() Grid {
 			{Interconnect: FabricAMBA, MemWaitStates: 4},
 			{Interconnect: FabricXPipes, MeshWidth: 4, MeshHeight: 2, BufferFlits: 2},
 			{Interconnect: FabricXPipes, MeshWidth: 4, MeshHeight: 2, BufferFlits: 8},
+		},
+	}
+}
+
+// ScenarioGrid is the spatial-pattern × topology scenario sweep: every
+// spatial pattern on a 2×2 logical core grid (square and power-of-two, so
+// transpose and the bit patterns are all legal), crossed with the AMBA
+// bus, a ×pipes mesh and a ×pipes torus. It is the grid the scenario
+// differential test and the golden-file harness lock down.
+func ScenarioGrid() Grid {
+	// The workload set iterates the stochastic Pattern enum, so a newly
+	// added pattern automatically joins the differential and golden-file
+	// corpus (the goldens then need a deliberate -update).
+	var ws []Workload
+	for pat := stochastic.UniformRandom; pat <= stochastic.NearestNeighbor; pat++ {
+		w := Workload{
+			Kind:     KindStochastic,
+			Dist:     "poisson",
+			Cores:    4,
+			Pattern:  pat.String(),
+			PatternW: 2, PatternH: 2,
+			MeanGap: 6,
+			Count:   300,
+		}
+		if pat == stochastic.Hotspot {
+			w.Hotspot = []float64{0, 0, 0.6}
+		}
+		ws = append(ws, w)
+	}
+	return Grid{
+		Workloads: ws,
+		Fabrics: []Fabric{
+			{Interconnect: FabricAMBA},
+			{Interconnect: FabricXPipes, MeshWidth: 4, MeshHeight: 3},
+			{Interconnect: FabricXPipes, Topology: "torus", MeshWidth: 4, MeshHeight: 3},
 		},
 	}
 }

@@ -74,7 +74,16 @@ const tgOverrun = 8
 // in the program.
 type programCache struct {
 	mu sync.Mutex
-	m  map[Workload]*programEntry
+	m  map[tgKey]*programEntry
+}
+
+// tgKey identifies a distinct translation: the benchmark spec is fully
+// determined by name, core count and size (spatial-pattern fields belong
+// to stochastic workloads, which never reach the cache).
+type tgKey struct {
+	Bench string
+	Cores int
+	Size  int
 }
 
 type programEntry struct {
@@ -86,12 +95,13 @@ type programEntry struct {
 func (c *programCache) get(w Workload) ([]*core.Program, error) {
 	c.mu.Lock()
 	if c.m == nil {
-		c.m = make(map[Workload]*programEntry)
+		c.m = make(map[tgKey]*programEntry)
 	}
-	e, ok := c.m[w]
+	k := tgKey{Bench: w.Bench, Cores: w.Cores, Size: w.Size}
+	e, ok := c.m[k]
 	if !ok {
 		e = &programEntry{}
-		c.m[w] = e
+		c.m[k] = e
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.progs, e.err = translate(w) })
@@ -174,6 +184,7 @@ func (r Runner) runPoint(cache *programCache, p Point) (res Result) {
 		NoC: noc.Config{
 			Width:       p.Fabric.MeshWidth,
 			Height:      p.Fabric.MeshHeight,
+			Topology:    p.Fabric.topology(),
 			BufferFlits: p.Fabric.BufferFlits,
 		},
 		MemWaitStates: p.Fabric.MemWaitStates,
@@ -208,6 +219,10 @@ func (r Runner) runPoint(cache *programCache, p Point) (res Result) {
 			Ranges:  []ocp.AddrRange{layout.SharedRange()},
 		}
 		scfg.Dist, _ = p.Workload.dist()
+		if scfg.Spatial, err = p.Workload.spatial(); err != nil {
+			res.Err = err.Error()
+			return res
+		}
 		sys, err = platform.Build(cfg, func(_ *platform.System, id int, port ocp.MasterPort) platform.Master {
 			return stochastic.New(id, scfg, port)
 		})
