@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench sweep scenarios golden paper clean
+.PHONY: all build test race vet fmt-check bench bench-smoke sweep scenarios golden paper clean
 
 all: build test
 
@@ -27,6 +27,11 @@ fmt-check:
 bench:
 	./scripts/bench.sh
 
+# make bench-smoke refreshes the committed CI regression-gate baseline
+# (bench/SMOKE_BASELINE.json) after an intentional performance change.
+bench-smoke:
+	./scripts/bench.sh smoke
+
 # make sweep runs the stock 16-point grid on all cores.
 sweep:
 	$(GO) run ./cmd/tgsweep -out results
@@ -45,4 +50,4 @@ paper:
 	$(GO) run ./cmd/tgsweep -paper -sizes quick
 
 clean:
-	rm -rf bench results.json results.csv scenarios.json scenarios.csv
+	rm -f bench/*.txt results.json results.csv scenarios.json scenarios.csv

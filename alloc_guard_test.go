@@ -61,3 +61,23 @@ func TestZeroAllocTransactionPath(t *testing.T) {
 		}
 	}
 }
+
+func TestZeroAllocEventKernelMixedLoad(t *testing.T) {
+	// The event kernel's whole run loop — wake heap, active-list sweeps,
+	// wake hooks, cycle jumps — must stay allocation-free in steady state
+	// on its target mixed-load workload.
+	const span = 10_000
+	sys := mixedLoadSystem(t, platform.KernelEvent, mixedLoadBusy(), 15)
+	st := &stopper{at: span, span: span}
+	sys.Engine.Add(st)
+	done := st.take
+	run := func() {
+		if _, err := sys.Engine.RunEvery(4*span, 32, done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the schedule storage, pools and reusable buffers
+	if avg := testing.AllocsPerRun(5, run); avg != 0 {
+		t.Errorf("event kernel mixed-load run allocates %.2f allocs per %d cycles", avg, span)
+	}
+}

@@ -91,7 +91,8 @@ type (
 	CacheConfig = cache.Config
 	// Interconnect selects the fabric (AMBA or XPipes).
 	Interconnect = platform.Interconnect
-	// KernelMode selects the simulation kernel (strict or idle-skipping).
+	// KernelMode selects the simulation kernel (strict, idle-skipping or
+	// event-driven).
 	KernelMode = platform.KernelMode
 )
 
@@ -105,10 +106,13 @@ const (
 
 // Simulation kernels.
 const (
-	// KernelAuto picks skip for TG replay and strict for ARM reference runs.
+	// KernelAuto picks event for TG replay and strict for ARM reference runs.
 	KernelAuto = platform.KernelAuto
 	// KernelStrict ticks every device on every cycle.
 	KernelStrict = platform.KernelStrict
+	// KernelEvent ticks only devices whose scheduled wake is due, jumping
+	// all-asleep spans; per-cycle cost scales with the awake set.
+	KernelEvent = platform.KernelEvent
 	// KernelSkip fast-forwards over cycles in which every device sleeps;
 	// simulated results are identical to strict runs.
 	KernelSkip = platform.KernelSkip

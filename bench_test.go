@@ -21,6 +21,7 @@ package noctg_test
 import (
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 
 	"noctg"
@@ -33,6 +34,7 @@ import (
 	"noctg/internal/prog"
 	"noctg/internal/sim"
 	"noctg/internal/simtest"
+	"noctg/internal/stochastic"
 	"noctg/internal/sweep"
 )
 
@@ -544,7 +546,7 @@ func BenchmarkEngineTick(b *testing.B) {
 // quiescent bus. The strict/skip Msimcycles/s ratio is the kernel speedup.
 func BenchmarkEngineSkipIdle(b *testing.B) {
 	src := "MASTER[0,0]\nBEGIN\nstart:\nIdle(100000)\nJump(start)\nIdle(100000)\nHalt\nEND"
-	for _, kernel := range []sim.Kernel{sim.KernelStrict, sim.KernelSkip} {
+	for _, kernel := range []sim.Kernel{sim.KernelStrict, sim.KernelSkip, sim.KernelEvent} {
 		b.Run(kernel.String(), func(b *testing.B) {
 			const span = 1_000_000 // simulated cycles per iteration
 			b.ReportAllocs()
@@ -638,6 +640,229 @@ func BenchmarkTransactionPath(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				sys.Engine.Step()
 			}
+		})
+	}
+}
+
+// --- event kernel: mixed-load benchmarks ---
+
+// mixedLoadBusy builds the saturated master of the mixed-load benchmarks: a
+// reactive TG spinning on its branch condition — one instruction retired
+// every cycle, the way a translated polling loop busy-waits — with a shared
+// memory write every 31 cycles. It is never idle for even one cycle, so
+// whole-cycle skipping is impossible for the entire run; the event kernel
+// ticks exactly this master (plus the bus around each write) while the 15
+// sleepers cost nothing.
+func mixedLoadBusy() string {
+	var src strings.Builder
+	src.WriteString("MASTER[0,0]\nREGISTER addr 0x08000000\nREGISTER data 42\nREGISTER zero 0\nREGISTER one 1\nBEGIN\nstart:\n")
+	for i := 0; i < 30; i++ {
+		src.WriteString("\tIf zero == one then start\n")
+	}
+	src.WriteString("\tWrite(addr, data)\n\tJump(start)\nEND")
+	return src.String()
+}
+
+// mixedLoadBusyDense is the saturated master with back-to-back traffic: an
+// endless stream of single-word writes and blocking reads, so the bus is
+// granted back-to-back and every stall horizon is shorter than the nap
+// threshold — the master and the bus stay awake every cycle and the
+// transaction machinery itself bounds the speedup.
+const mixedLoadBusyDense = `MASTER[0,0]
+REGISTER addr 0x08000000
+REGISTER data 42
+BEGIN
+start:
+	Write(addr, data)
+	Read(addr)
+	Jump(start)
+END`
+
+// mixedLoadBusyBurst saturates the bus with 8-beat bursts instead: each
+// transfer occupies the bus beyond the nap threshold, so the blocked master
+// and the bus both sleep through the occupancy on their reported horizons.
+// Every kernel that honours Sleeper horizons collapses those spans — the
+// variant measures how much of the burst case skip recovers and how far
+// ahead event stays.
+const mixedLoadBusyBurst = `MASTER[0,0]
+REGISTER addr 0x08000000
+REGISTER data 42
+BEGIN
+start:
+	BurstWrite(addr, data, 8)
+	BurstRead(addr, 8)
+	Jump(start)
+END`
+
+// mixedLoadSystem builds the event kernel's target workload: one saturated
+// TG hammering the shared memory plus idleMasters TGs sleeping in deep Idle
+// loops, all over one AMBA bus. Under strict and skip ticking the busy
+// master forces every device to be ticked every cycle; the event kernel
+// ticks only the busy master and the bus.
+func mixedLoadSystem(tb testing.TB, kernel platform.KernelMode, busy string, idleMasters int) *platform.System {
+	tb.Helper()
+	idle := "MASTER[0,0]\nBEGIN\nstart:\nIdle(100000)\nJump(start)\nEND"
+	progs := make([]*core.Program, 1+idleMasters)
+	for i := range progs {
+		src := idle
+		if i == 0 {
+			src = busy
+		}
+		p, err := core.Assemble(src)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		progs[i] = p
+	}
+	sys, err := platform.BuildTG(platform.Config{Cores: len(progs), Kernel: kernel}, progs)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// stopper is a self-timed Sleeper that ends a benchmark run every span
+// cycles without the error-path allocation of a budget exhaust: it fires at
+// an absolute deadline, re-arms for the next span, and sleeps in between,
+// so it never disturbs the kernels' tick elision.
+type stopper struct {
+	at, span uint64
+	fired    bool
+}
+
+func (s *stopper) Tick(c uint64) {
+	if c >= s.at {
+		s.fired = true
+		s.at += s.span
+	}
+}
+
+func (s *stopper) NextWake(now uint64) uint64 {
+	if s.at > now {
+		return s.at
+	}
+	return now
+}
+
+// take reports and clears the fired flag (the run's completion predicate).
+func (s *stopper) take() bool {
+	if s.fired {
+		s.fired = false
+		return true
+	}
+	return false
+}
+
+// benchMixedLoad measures one kernel on a prepared system, span simulated
+// cycles per iteration.
+func benchMixedLoad(b *testing.B, sys *platform.System, span uint64) {
+	st := &stopper{at: sys.Engine.Cycle() + span, span: span}
+	sys.Engine.Add(st)
+	// Warm the reusable buffers, pools and kernel schedule before measuring.
+	if _, err := sys.Engine.RunEvery(4*span, 32, st.take); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Engine.RunEvery(4*span, 32, st.take); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportSimSpeed(b, span)
+}
+
+// BenchmarkEngineEventMixedLoad is the event kernel's headline benchmark:
+// 1 saturated + 15 idle masters on the AMBA bus, where whole-cycle skipping
+// is impossible and the strict/skip kernels pay for every idle master every
+// cycle. The event/skip Msimcycles/s ratio is the active-set speedup; it
+// grows with the idle fraction (see the IdleScaling variant).
+func BenchmarkEngineEventMixedLoad(b *testing.B) {
+	const span = 100_000
+	busy := mixedLoadBusy()
+	for _, kernel := range []platform.KernelMode{platform.KernelStrict, platform.KernelSkip, platform.KernelEvent} {
+		b.Run(kernel.String(), func(b *testing.B) {
+			benchMixedLoad(b, mixedLoadSystem(b, kernel, busy, 15), span)
+		})
+	}
+}
+
+// BenchmarkEngineEventMixedLoadDense is the same mix with back-to-back
+// single-word traffic: the bus transaction machinery runs every handful of
+// cycles in every kernel, so the event kernel's lead narrows to the cost of
+// the elided idle ticks over that shared floor.
+func BenchmarkEngineEventMixedLoadDense(b *testing.B) {
+	const span = 100_000
+	for _, kernel := range []platform.KernelMode{platform.KernelStrict, platform.KernelSkip, platform.KernelEvent} {
+		b.Run(kernel.String(), func(b *testing.B) {
+			benchMixedLoad(b, mixedLoadSystem(b, kernel, mixedLoadBusyDense, 15), span)
+		})
+	}
+}
+
+// BenchmarkEngineEventMixedLoadBurst is the mix with burst traffic: the
+// blocked master and the bus sleep on their reported occupancy horizons
+// (ocp.WakeHinter), so the skip kernel recovers most of the gap by
+// whole-cycle jumping and the event kernel keeps only a modest lead.
+func BenchmarkEngineEventMixedLoadBurst(b *testing.B) {
+	const span = 100_000
+	for _, kernel := range []platform.KernelMode{platform.KernelStrict, platform.KernelSkip, platform.KernelEvent} {
+		b.Run(kernel.String(), func(b *testing.B) {
+			benchMixedLoad(b, mixedLoadSystem(b, kernel, mixedLoadBusyBurst, 15), span)
+		})
+	}
+}
+
+// BenchmarkEngineEventIdleScaling sweeps the idle-master count: event-kernel
+// throughput should stay roughly flat while skip degrades linearly with the
+// device count.
+func BenchmarkEngineEventIdleScaling(b *testing.B) {
+	const span = 100_000
+	busy := mixedLoadBusy()
+	for _, idle := range []int{3, 15, 63} {
+		for _, kernel := range []platform.KernelMode{platform.KernelSkip, platform.KernelEvent} {
+			b.Run(fmt.Sprintf("%didle/%s", idle, kernel), func(b *testing.B) {
+				benchMixedLoad(b, mixedLoadSystem(b, kernel, busy, idle), span)
+			})
+		}
+	}
+}
+
+// BenchmarkEngineEventHotspot drives the scenario library's problem case on
+// the NoC: stochastic masters all targeting the shared memory, one
+// injecting nearly back-to-back and the rest sleeping tens of thousands of
+// cycles between injections. The network itself is one monolithic device
+// that is awake whenever packets are in flight, so the event kernel's edge
+// here comes from eliding the sleeping generators and the inter-packet
+// gaps.
+func BenchmarkEngineEventHotspot(b *testing.B) {
+	const span = 20_000
+	for _, kernel := range []platform.KernelMode{platform.KernelStrict, platform.KernelSkip, platform.KernelEvent} {
+		b.Run(kernel.String(), func(b *testing.B) {
+			scfg := stochastic.Config{
+				MeanGap: 30_000,
+				Count:   1 << 30,
+				Seed:    42,
+				Ranges:  []ocp.AddrRange{noctg.SharedRange()},
+			}
+			busyCfg := scfg
+			busyCfg.MeanGap = 24
+			sys, err := platform.Build(platform.Config{
+				Cores:        4,
+				Interconnect: platform.XPipes,
+				Kernel:       kernel,
+			}, func(_ *platform.System, id int, port ocp.MasterPort) platform.Master {
+				cfg := scfg
+				if id == 0 {
+					cfg = busyCfg
+				}
+				return stochastic.New(id, cfg, port)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchMixedLoad(b, sys, span)
 		})
 	}
 }

@@ -107,7 +107,7 @@ func main() {
 		if sys.Bus != nil {
 			fmt.Printf("bus: busy %d cycles, idle %d, grants %d\n",
 				sys.Bus.BusyCycles(), sys.Bus.IdleCycles(), sys.Bus.TotalGrants())
-			for i, w := range sys.Bus.WaitCycles {
+			for i, w := range sys.Bus.WaitCycles() {
 				fmt.Printf("  master %d: %d grants, %d wait cycles\n", i, sys.Bus.Grants[i], w)
 			}
 		}

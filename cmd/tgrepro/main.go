@@ -12,7 +12,12 @@
 //	tgrepro -overhead
 //	tgrepro -ablation
 //	tgrepro -fig2
-//	tgrepro -all
+//	tgrepro -all [-kernel auto|strict|skip|event]
+//	        [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile/-memprofile write pprof profiles of the evaluation (shared
+// flag wiring with tgsweep via internal/prof), so performance work needs no
+// code edits.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"noctg/internal/exp"
 	"noctg/internal/platform"
+	"noctg/internal/prof"
 	"noctg/internal/sweep"
 )
 
@@ -35,8 +41,9 @@ func main() {
 		all        = flag.Bool("all", false, "run every experiment")
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes: quick or default")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = all host cores)")
-		kernelFlag = flag.String("kernel", "auto", "TG-replay simulation kernel: auto (skip), strict or skip; ARM reference runs always tick strictly")
+		kernelFlag = flag.String("kernel", "auto", "TG-replay simulation kernel: auto (event), strict, skip or event; ARM reference runs always tick strictly")
 	)
+	profiles := prof.Register()
 	flag.Parse()
 	kernel, err := platform.ParseKernel(*kernelFlag)
 	fail(err)
@@ -61,6 +68,9 @@ func main() {
 	}
 	opt := exp.DefaultOptions()
 	opt.Platform.Kernel = kernel
+	// Profiles are written on the success path only: fail() exits the
+	// process without running defers.
+	defer profiles.MustStart("tgrepro")()
 	res, err := sweep.RunPaperSelect(sizes, opt, *workers, sel)
 	fail(err)
 	sweep.FormatPaper(os.Stdout, res, sel)

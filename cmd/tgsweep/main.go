@@ -23,12 +23,14 @@
 // .tgp check, the overhead measurement, the ablations and the Figure 2
 // experiments) runs as one parallel invocation instead of a grid sweep.
 //
-// -kernel selects the simulation kernel for replay runs: "skip" (the
-// default via "auto") fast-forwards over cycles in which every device
-// sleeps, "strict" ticks every cycle. Both produce byte-identical
+// -kernel selects the simulation kernel for replay runs: "event" (the
+// default via "auto") ticks only the devices that are due each cycle,
+// "skip" fast-forwards only over cycles in which every device sleeps, and
+// "strict" ticks every device every cycle. All three produce byte-identical
 // artifacts; strict exists for cross-checking and for timing experiments
 // that must not benefit from kernel tricks. -cpuprofile/-memprofile write
-// pprof profiles of the sweep so performance work needs no code edits.
+// pprof profiles of the sweep (shared flag wiring with tgrepro via
+// internal/prof) so performance work needs no code edits.
 package main
 
 import (
@@ -36,12 +38,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"time"
 
 	"noctg/internal/exp"
 	"noctg/internal/platform"
+	"noctg/internal/prof"
 	"noctg/internal/scenario"
 	"noctg/internal/sweep"
 )
@@ -57,32 +58,17 @@ func main() {
 		printScen  = flag.Bool("print-scenarios", false, "print the scenario library JSON and exit")
 		paper      = flag.Bool("paper", false, "run the paper's experiments as one parallel invocation")
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes for -paper: quick or default")
-		kernelFlag = flag.String("kernel", "auto", "simulation kernel: auto (skip for replay), strict or skip")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		kernelFlag = flag.String("kernel", "auto", "simulation kernel: auto (event for replay), strict, skip or event")
 	)
+	profiles := prof.Register()
 	flag.Parse()
 
 	kernel, err := platform.ParseKernel(*kernelFlag)
 	fail(err)
 
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		fail(err)
-		fail(pprof.StartCPUProfile(f))
-		defer pprof.StopCPUProfile()
-	}
-	if *memProf != "" {
-		// Profiles are written on the success path only: fail() exits the
-		// process without running defers.
-		defer func() {
-			f, err := os.Create(*memProf)
-			fail(err)
-			runtime.GC()
-			fail(pprof.WriteHeapProfile(f))
-			fail(f.Close())
-		}()
-	}
+	// Profiles are written on the success path only: fail() exits the
+	// process without running defers.
+	defer profiles.MustStart("tgsweep")()
 
 	if *printGrid {
 		g := sweep.DefaultGrid()

@@ -62,16 +62,33 @@
 //
 // # Simulation kernels
 //
-// Two cycle-advance strategies drive every platform (PlatformConfig.Kernel,
-// tgsweep/tgrepro -kernel): the strict kernel ticks every device on every
-// cycle, and the idle-skipping kernel jumps the cycle counter over spans in
-// which every device has declared itself asleep (a TG deep in an Idle, a
-// drained interconnect). Both produce identical simulated results — the
-// differential tests assert byte-identical sweep artifacts — so TG replay
-// defaults to skip. ARM reference runs always tick strictly: the paper's
-// reported ARM-vs-TG speedup comes from the TG model doing less work per
-// cycle, and measuring the reference on a kernel that elides idle cycles
-// would understate the ARM cost and corrupt the Table 2 Gain column.
+// Three cycle-advance strategies drive every platform
+// (PlatformConfig.Kernel, tgsweep/tgrepro -kernel): the strict kernel
+// ticks every device on every cycle; the idle-skipping kernel jumps the
+// cycle counter over spans in which every device has declared itself
+// asleep (a TG deep in an Idle, a drained interconnect); and the
+// event-driven kernel keeps a per-device wake schedule and each cycle
+// ticks only the devices that are due, so its per-cycle cost scales with
+// the awake set rather than the core count (one saturated master among
+// many idle ones no longer forces full-platform ticking). The contracts
+// behind them: a Sleeper's NextWake is a strict "will not act before"
+// promise that holds even while the device is not being ticked; devices
+// stimulated from outside their own Tick (interconnects receiving
+// TryRequest) fire an engine wake hook at the moment of stimulus; and
+// ports can bound a blocked master's next possible progress (ocp
+// WakeHinter), letting masters sleep through known transfer occupancy
+// instead of polling. Platform KernelAuto resolves to the event kernel
+// for TG and clone replay builders and to strict everywhere else; skip
+// remains selectable for cross-checking and as the simpler fallback, and
+// any platform containing a non-Sleeper device silently degrades to
+// strict ticking.
+//
+// All three produce identical simulated results — the differential tests
+// assert byte-identical sweep artifacts across the full kernel matrix.
+// ARM reference runs always tick strictly: the paper's reported ARM-vs-TG
+// speedup comes from the TG model doing less work per cycle, and
+// measuring the reference on a kernel that elides idle cycles would
+// understate the ARM cost and corrupt the Table 2 Gain column.
 // Speedup-fidelity, in short: kernel tricks accelerate the reproduction,
 // but never the baseline the paper's claims are calibrated against.
 package noctg

@@ -20,6 +20,7 @@ package amba
 
 import (
 	"fmt"
+	"math/bits"
 
 	"noctg/internal/ocp"
 	"noctg/internal/sim"
@@ -125,8 +126,21 @@ func (p *port) TryRequest(req *ocp.Request) bool {
 		}
 		p.req = *req
 		p.req.MasterID = p.id
+		// Requester-set changes bound the bulk wait credit: settle the old
+		// set through the previous cycle before this port joins it.
+		if now := p.bus.now(); now > 0 {
+			p.bus.creditWait(now - 1)
+		}
 		p.state = portRequesting
 		p.bus.requesting++
+		p.bus.openPorts++
+		p.bus.reqMask[p.id>>6] |= 1 << (uint(p.id) & 63)
+		// A new request is the external stimulus that ends a bus sleep
+		// (idle quiescence or an in-flight transfer horizon): tell the
+		// event kernel to put the bus back into the tick set.
+		if w := p.bus.waker; w != nil {
+			w.Wake()
+		}
 		return false
 	case portRequesting:
 		return false
@@ -134,6 +148,8 @@ func (p *port) TryRequest(req *ocp.Request) bool {
 		p.state = portIdle
 		if p.req.Cmd.IsRead() {
 			p.busyRead = true
+		} else {
+			p.bus.openPorts--
 		}
 		return true
 	}
@@ -149,13 +165,39 @@ func (p *port) TakeResponse() (*ocp.Response, bool) {
 	}
 	p.hasResp = false
 	p.busyRead = false
+	p.bus.openPorts--
 	return &p.resp, true
 }
 
 // Busy implements ocp.MasterPort.
 func (p *port) Busy() bool { return p.busyRead || p.state != portIdle }
 
+// WakeHint implements ocp.WakeHinter. A delivered response is gated by its
+// scheduled respAt. Otherwise, while a transfer occupies the bus nothing
+// can change for this port before the bus frees at active.done: no grant
+// can be issued (arbitration requires a free bus) and no response can be
+// delivered (the outstanding read, if any, is the active transfer itself).
+// With the bus free the next arbitration tick may grant any cycle, so the
+// hint is now. Horizons inside the nap threshold are not worth the
+// scheduling churn and hint now as well (always allowed — see
+// ocp.WakeHinter).
+func (p *port) WakeHint(now uint64) uint64 {
+	if p.hasResp {
+		if p.respAt > now+napThreshold {
+			return p.respAt
+		}
+		return now
+	}
+	if p.state == portRequesting || p.busyRead {
+		if b := p.bus; b.hasActive && b.active.done > now+napThreshold {
+			return b.active.done
+		}
+	}
+	return now
+}
+
 var _ ocp.MasterPort = (*port)(nil)
+var _ ocp.WakeHinter = (*port)(nil)
 
 type activeTxn struct {
 	port *port
@@ -181,21 +223,47 @@ type Bus struct {
 	hasActive  bool
 	activeData []uint32
 
-	// lastTick supports the skip kernel's cycle jumps: a gap between
-	// consecutive Tick cycles is credited to the busy/idle counters in bulk
-	// (skipped cycles are, by the Sleeper contract, cycles in which the
-	// bus's occupancy state could not change).
+	// lastTick supports the skip and event kernels' elided ticks: a gap
+	// between consecutive Tick cycles is credited to the busy/idle counters
+	// in bulk (a cycle the bus was not ticked in is, by the Sleeper
+	// contract, one in which its occupancy state could not change).
 	lastTick uint64
 	ticked   bool
 
+	// waker is the engine's wake handle (sim.WakeSink); nil when the bus is
+	// driven outside an engine.
+	waker sim.Waker
+
 	// Stats
-	Counters   sim.Counters
-	WaitCycles []uint64 // per master: cycles spent requesting without grant
+	Counters sim.Counters
+	// waits counts, per master, the cycles spent requesting without a
+	// grant. It is accounted lazily in bulk (see creditWait); the
+	// WaitCycles getter settles the tail of a run that ended while the bus
+	// slept, so readers always see the strict kernel's values.
+	waits      []uint64
 	Grants     []uint64 // per master: accepted transactions
 	busyCycles uint64
 	idleCycles uint64
 	grantCount uint64
 	requesting int // number of ports in portRequesting state
+	// openPorts counts ports with any business in flight (requesting,
+	// granted-but-unaccepted, outstanding read or undelivered response), so
+	// Idle is O(1) instead of a port scan.
+	openPorts int
+	// reqMask mirrors the portRequesting states, one bit per port id, so
+	// arbitration and wait accounting scan requesters instead of every
+	// port: cost scales with contention, not with the core count.
+	reqMask []uint64
+	// waitCredited is the number of leading cycles already folded into
+	// WaitCycles. The requesting set is frozen while the bus sleeps (any
+	// new requester wakes it via the port hook), so crediting
+	// requesters × elapsed at the next tick reproduces the strict kernel's
+	// per-cycle increments exactly.
+	waitCredited uint64
+	// lastBind caches the most recent decode hit: masters show strong
+	// address-range locality, so the common case skips the linear range
+	// scan whose cost grows with the core count (one private memory each).
+	lastBind int
 }
 
 // New builds a bus with the given timing configuration; now supplies the
@@ -215,8 +283,11 @@ func (b *Bus) Config() Config { return b.cfg }
 func (b *Bus) NewMasterPort() ocp.MasterPort {
 	p := &port{bus: b, id: len(b.ports)}
 	b.ports = append(b.ports, p)
-	b.WaitCycles = append(b.WaitCycles, 0)
+	b.waits = append(b.waits, 0)
 	b.Grants = append(b.Grants, 0)
+	if len(b.ports) > 64*len(b.reqMask) {
+		b.reqMask = append(b.reqMask, 0)
+	}
 	return p
 }
 
@@ -246,11 +317,12 @@ func (b *Bus) IdleCycles() uint64 {
 	return b.idleCycles + idle
 }
 
-// pendingGap returns the busy/idle credit for cycles the skip kernel
-// jumped over since the bus's last Tick. Tick folds such gaps into the
-// counters itself, but a run that ends on a skip jump is never followed by
-// another Tick, so the getters account the tail on the fly (the bus state
-// was frozen across the gap, making the attribution unambiguous).
+// pendingGap returns the busy/idle credit for cycles in which the bus was
+// not ticked (skip-kernel jumps, event-kernel sleeps) since its last Tick.
+// Tick folds such gaps into the counters itself, but a run that ends inside
+// a gap is never followed by another Tick, so the getters account the tail
+// on the fly (the bus state was frozen across the gap, making the
+// attribution unambiguous).
 func (b *Bus) pendingGap() (busy, idle uint64) {
 	if !b.ticked {
 		return 0, 0
@@ -269,41 +341,61 @@ func (b *Bus) TotalGrants() uint64 { return b.grantCount }
 
 // Idle reports whether no transfer is active, no master is requesting and
 // no response is pending — i.e. all posted writes have drained. Platforms
-// use this as part of their termination condition.
+// use this as part of their termination condition; the open-port counter
+// makes it O(1), so per-cycle callers (NextWake, completion predicates)
+// don't pay a port scan.
 func (b *Bus) Idle() bool {
-	if b.hasActive {
-		return false
-	}
-	for _, p := range b.ports {
-		if p.state != portIdle || p.busyRead || p.hasResp {
-			return false
-		}
-	}
-	return true
+	return !b.hasActive && b.openPorts == 0
 }
 
-// NextWake implements sim.Sleeper. A fully idle bus is quiescent until a
-// master presents a request (and that master, being active, keeps the
-// engine ticking). While a transfer occupies the bus, the in-flight horizon
-// is its completion cycle — but any master that is requesting, blocked on a
-// response or mid-handshake reports its own wake of "now", so the bus only
-// ever skips the drain tail of posted writes.
+// napThreshold is the shortest in-flight horizon the bus reports as a
+// sleep. Under back-to-back traffic a transfer completes within a few
+// cycles and the next request arrives immediately, so scheduling such a nap
+// just churns the event kernel's wake heap (every nap is a new minimum);
+// staying nominally awake for a handful of no-op ticks is cheaper. Long
+// horizons — bursts, deep slave wait states, posted-write drain tails — are
+// still slept through. Returning now instead of a future wake is always
+// allowed by the Sleeper contract, so this is purely a scheduling choice.
+const napThreshold = 8
+
+// NextWake implements sim.Sleeper. A transfer in flight sleeps the bus to
+// its completion cycle (beyond the nap threshold) even while other masters
+// queue behind it: nothing can be granted before the bus frees, and the
+// waiters' WaitCycles are credited in bulk at the wake (the requesting set
+// is frozen during the sleep — see creditWait). With no transfer, a
+// requesting master needs per-cycle arbitration ticks (TDMA slots are
+// cycle-timed), and a fully idle bus is quiescent until a master presents a
+// request. Every sleep is ended early by the port's TryRequest wake hook,
+// which is what makes these safe promises rather than mere hints (see
+// sim.Sleeper).
 func (b *Bus) NextWake(now uint64) uint64 {
 	if b.hasActive {
-		if b.active.done > now {
+		if b.active.done > now+napThreshold {
 			return b.active.done
 		}
 		return now
 	}
-	if b.Idle() {
+	if b.requesting > 0 {
+		return now
+	}
+	if b.openPorts == 0 {
 		return sim.WakeNever
 	}
 	return now
 }
 
+// SetWaker implements sim.WakeSink: the engine hands the bus its wake
+// handle at registration, and the ports fire it when a master's TryRequest
+// arrives while the bus may be sleeping.
+func (b *Bus) SetWaker(w sim.Waker) { b.waker = w }
+
 func (b *Bus) decode(addr uint32) *binding {
+	if b.lastBind < len(b.bindings) && b.bindings[b.lastBind].rng.Contains(addr) {
+		return &b.bindings[b.lastBind]
+	}
 	for i := range b.bindings {
 		if b.bindings[i].rng.Contains(addr) {
+			b.lastBind = i
 			return &b.bindings[i]
 		}
 	}
@@ -312,9 +404,10 @@ func (b *Bus) decode(addr uint32) *binding {
 
 // Tick implements sim.Device.
 func (b *Bus) Tick(cycle uint64) {
-	// Credit skipped cycles (skip kernel jumps) to the occupancy counters:
-	// a skip can only span cycles in which the bus state was frozen, so the
-	// whole gap was uniformly busy (posted-write drain) or uniformly idle.
+	// Credit elided cycles (skip-kernel jumps, event-kernel sleeps) to the
+	// occupancy counters: a tick is only omitted while the bus state is
+	// frozen, so the whole gap was uniformly busy (posted-write drain) or
+	// uniformly idle.
 	if b.ticked && cycle > b.lastTick+1 {
 		gap := cycle - b.lastTick - 1
 		if b.hasActive {
@@ -322,6 +415,11 @@ func (b *Bus) Tick(cycle uint64) {
 		} else {
 			b.idleCycles += gap
 		}
+	}
+	// Settle the sleep gap's wait credit with the pre-arbitration
+	// requesting set before this cycle's grant can change it.
+	if cycle > 0 {
+		b.creditWait(cycle - 1)
 	}
 	b.lastTick = cycle
 	b.ticked = true
@@ -339,14 +437,65 @@ func (b *Bus) Tick(cycle uint64) {
 			b.idleCycles++
 		}
 	}
-	// Account arbitration waiting for saturation analysis.
-	if b.requesting > 0 {
-		for _, p := range b.ports {
-			if p.state == portRequesting {
-				b.WaitCycles[p.id]++
-			}
+	// Account this cycle's arbitration waiting (post-grant set, exactly as
+	// the per-cycle accounting did).
+	b.creditWait(cycle)
+}
+
+// creditWait folds the cycles [waitCredited, upTo] into WaitCycles for
+// every currently requesting port. Bulk crediting is exact because the
+// requesting set only changes at bus ticks (grants) and at TryRequest
+// asserts, and both settle the credit through the previous cycle first —
+// so between settlements the set is frozen and requesters × elapsed equals
+// the strict kernel's per-cycle increments.
+func (b *Bus) creditWait(upTo uint64) {
+	if upTo < b.waitCredited {
+		return
+	}
+	delta := upTo + 1 - b.waitCredited
+	b.waitCredited = upTo + 1
+	if b.requesting == 0 {
+		return
+	}
+	for wi, w := range b.reqMask {
+		for w != 0 {
+			b.waits[wi<<6+bits.TrailingZeros64(w)] += delta
+			w &= w - 1
 		}
 	}
+}
+
+// WaitCycles returns, per master, the cycles spent requesting without a
+// grant — exactly the strict kernel's per-cycle counts. Like the
+// busy/idle getters it settles the lazily credited tail on the fly: a run
+// that ended while the bus slept through a transfer with masters queued
+// has those frozen-set cycles folded in here.
+func (b *Bus) WaitCycles() []uint64 {
+	if now := b.now(); now > 0 {
+		b.creditWait(now - 1)
+	}
+	return b.waits
+}
+
+// scanReq returns the lowest requesting port id in [lo, hi), or -1.
+func (b *Bus) scanReq(lo, hi int) int {
+	if lo >= hi {
+		return -1
+	}
+	for wi := lo >> 6; wi <= (hi-1)>>6; wi++ {
+		w := b.reqMask[wi]
+		if wi == lo>>6 {
+			w &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if w == 0 {
+			continue
+		}
+		if id := wi<<6 + bits.TrailingZeros64(w); id < hi {
+			return id
+		}
+		return -1
+	}
+	return -1
 }
 
 func (b *Bus) complete(cycle uint64) {
@@ -373,12 +522,7 @@ func (b *Bus) arbitrate(cycle uint64) {
 	winner := -1
 	switch b.cfg.Arbitration {
 	case FixedPriority:
-		for _, p := range b.ports {
-			if p.state == portRequesting {
-				winner = p.id
-				break
-			}
-		}
+		winner = b.scanReq(0, len(b.ports))
 	case TDMA:
 		// Only the slot owner may be granted; others wait for their slot.
 		owner := int(cycle/b.cfg.SlotCycles) % len(b.ports)
@@ -387,13 +531,11 @@ func (b *Bus) arbitrate(cycle uint64) {
 		}
 	default: // RoundRobin
 		n := len(b.ports)
-		for i := 0; i < n; i++ {
-			id := (b.rrNext + i) % n
-			if b.ports[id].state == portRequesting {
-				winner = id
-				b.rrNext = (id + 1) % n
-				break
-			}
+		if winner = b.scanReq(b.rrNext, n); winner < 0 {
+			winner = b.scanReq(0, b.rrNext)
+		}
+		if winner >= 0 {
+			b.rrNext = (winner + 1) % n
 		}
 	}
 	if winner < 0 {
@@ -403,6 +545,7 @@ func (b *Bus) arbitrate(cycle uint64) {
 	p := b.ports[winner]
 	p.state = portGranted
 	b.requesting--
+	b.reqMask[winner>>6] &^= 1 << (uint(winner) & 63)
 	b.Grants[winner]++
 	b.grantCount++
 
@@ -425,5 +568,13 @@ func (b *Bus) arbitrate(cycle uint64) {
 	b.hasActive = true
 }
 
+// TickWake implements sim.TickSleeper (Tick then NextWake in one dispatch).
+func (b *Bus) TickWake(cycle uint64) uint64 {
+	b.Tick(cycle)
+	return b.NextWake(cycle + 1)
+}
+
 var _ sim.Device = (*Bus)(nil)
 var _ sim.Sleeper = (*Bus)(nil)
+var _ sim.WakeSink = (*Bus)(nil)
+var _ sim.TickSleeper = (*Bus)(nil)

@@ -154,7 +154,7 @@ func TestFixedPriorityStarvation(t *testing.T) {
 	polite := []simtest.Step{{Gap: 0, Req: ocp.Request{Cmd: ocp.Write, Addr: 0x1004, Burst: 1, Data: []uint32{2}}}}
 	e, bus, ms, _ := rig(t, Config{Arbitration: FixedPriority}, spam, polite)
 	runAll(t, e, ms, 2000)
-	if bus.WaitCycles[1] == 0 {
+	if bus.WaitCycles()[1] == 0 {
 		t.Fatal("low-priority master should have waited")
 	}
 	// Master 1 asserts at cycle 0 like master 0 but is accepted later.
@@ -224,7 +224,7 @@ func TestBusSaturation(t *testing.T) {
 		t.Fatalf("bus busy %d of %d cycles; expected saturation", bus.BusyCycles(), total)
 	}
 	var waits uint64
-	for _, w := range bus.WaitCycles {
+	for _, w := range bus.WaitCycles() {
 		waits += w
 	}
 	if waits == 0 {

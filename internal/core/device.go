@@ -33,7 +33,11 @@ const (
 type Device struct {
 	prog *Program
 	port ocp.MasterPort
-	id   int
+	// hinter is port's optional stall-horizon interface (nil when the port
+	// cannot bound its next transition), letting NextWake sleep through
+	// known interconnect occupancy instead of polling.
+	hinter ocp.WakeHinter
+	id     int
 
 	regs  [NumRegs]uint32
 	pc    int
@@ -69,6 +73,7 @@ func NewDevice(prog *Program, port ocp.MasterPort) (*Device, error) {
 		return nil, fmt.Errorf("core: NewDevice requires a port")
 	}
 	d := &Device{prog: prog, port: port, id: prog.MasterID}
+	d.hinter, _ = port.(ocp.WakeHinter)
 	for i, v := range prog.RegInit {
 		d.regs[i] = v
 	}
@@ -104,8 +109,13 @@ func (d *Device) Preemptible() bool {
 func (d *Device) Idling() bool { return d.state == dIdle }
 
 // NextWake implements sim.Sleeper: a halted TG never wakes, an idling TG
-// wakes when its Idle expires, and a TG that is executing or has an OCP
-// transaction in flight must be ticked every cycle.
+// wakes when its Idle expires, and a TG blocked on an OCP handshake sleeps
+// to the port's stall horizon (the interconnect's current occupancy or a
+// scheduled response delivery) when the port can bound it, polling every
+// cycle otherwise. The sleeps are strict "will not act before" promises:
+// an idling TG is purely self-timed (no external input can shorten an
+// Idle), and a hinted port freezes its answers until the horizon, so the
+// event kernel may drop the TG from the tick loop entirely in between.
 func (d *Device) NextWake(now uint64) uint64 {
 	switch d.state {
 	case dHalt:
@@ -113,6 +123,12 @@ func (d *Device) NextWake(now uint64) uint64 {
 	case dIdle:
 		if d.wakeAt > now {
 			return d.wakeAt
+		}
+	case dIssue, dWait:
+		if d.hinter != nil {
+			if w := d.hinter.WakeHint(now); w > now {
+				return w
+			}
 		}
 	}
 	return now
@@ -254,8 +270,16 @@ func (d *Device) fault(cycle uint64) {
 	d.halt(cycle)
 }
 
+// TickWake implements sim.TickSleeper: one dispatch for the tick plus the
+// post-tick wake query, exactly Tick(cycle) then NextWake(cycle+1).
+func (d *Device) TickWake(cycle uint64) uint64 {
+	d.Tick(cycle)
+	return d.NextWake(cycle + 1)
+}
+
 var _ sim.Device = (*Device)(nil)
 var _ sim.Sleeper = (*Device)(nil)
+var _ sim.TickSleeper = (*Device)(nil)
 
 // DebugState exposes the FSM state for diagnostics.
 func (d *Device) DebugState() string {

@@ -97,7 +97,9 @@ func (s *SlaveTG) PerformInto(req *ocp.Request, dst []uint32) ocp.Response {
 }
 
 // NextWake implements sim.Sleeper: a slave TG acts only inside
-// fabric-invoked Perform calls, so it never needs a clock tick.
+// fabric-invoked Perform calls, so it never needs a clock tick — under any
+// kernel, including the event kernel's no-tick sleeps. (The invoking
+// fabric is the device that is awake while a Perform is pending.)
 func (s *SlaveTG) NextWake(uint64) uint64 { return sim.WakeNever }
 
 // dummy derives the deterministic dummy read value for addr.

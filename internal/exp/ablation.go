@@ -134,7 +134,7 @@ func AblationArbitration(spec *prog.Spec, opt Options, policies []amba.Policy) (
 			return nil, err
 		}
 		var maxWait uint64
-		for _, w := range ref.Sys.Bus.WaitCycles {
+		for _, w := range ref.Sys.Bus.WaitCycles() {
 			if w > maxWait {
 				maxWait = w
 			}

@@ -69,7 +69,8 @@ func (r *RAM) PerformInto(req *ocp.Request, dst []uint32) ocp.Response {
 
 // NextWake implements sim.Sleeper: a RAM is purely reactive (it acts only
 // inside a fabric-invoked Perform), so it never needs a clock tick of its
-// own.
+// own under any kernel — the invoking fabric is awake whenever an access
+// is pending, which is all the event kernel requires.
 func (r *RAM) NextWake(uint64) uint64 { return wakeNever }
 
 // wakeNever mirrors sim.WakeNever without importing sim: the passive slaves

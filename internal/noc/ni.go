@@ -49,6 +49,10 @@ func (m *masterNI) TryRequest(req *ocp.Request) bool {
 		if err := req.Validate(); err != nil {
 			panic(fmt.Sprintf("noc: master at node %d issued invalid request: %v", m.node, err))
 		}
+		// A new injection (or the locally synthesised error response below)
+		// ends a network sleep: put the network back into the event
+		// kernel's tick set before any state changes land.
+		m.net.wakeUp()
 		m.req = *req
 		dst := m.net.decode(req.Addr)
 		if dst == nil {
@@ -103,6 +107,25 @@ func (m *masterNI) TakeResponse() (*ocp.Response, bool) {
 
 // Busy implements ocp.MasterPort.
 func (m *masterNI) Busy() bool { return m.busyRead || m.state != niIdle }
+
+// niNapThreshold mirrors the bus's nap threshold: delivery horizons this
+// short cost more in wake-schedule churn than they save in elided polls.
+const niNapThreshold = 8
+
+// WakeHint implements ocp.WakeHinter. Only the delivered-response delay is
+// a known horizon on the NoC — injection and in-flight progress depend on
+// per-cycle contention — so everything else hints now. The respAt horizon
+// is trusted only with the NI back in its idle state: a decode-error read
+// sets hasResp while the accept handshake (niInjected) is still pending,
+// and the master must keep polling to take that accept on the next cycle.
+func (m *masterNI) WakeHint(now uint64) uint64 {
+	if m.state == niIdle && m.hasResp && m.respAt > now+niNapThreshold {
+		return m.respAt
+	}
+	return now
+}
+
+var _ ocp.WakeHinter = (*masterNI)(nil)
 
 // tick injects up to one flit of the pending request packet per cycle.
 func (m *masterNI) tick(cycle uint64) {

@@ -430,6 +430,10 @@ type Network struct {
 	pktPool     []*packet
 	livePackets int
 
+	// waker is the engine's wake handle (sim.WakeSink); nil when the
+	// network is driven outside an engine.
+	waker sim.Waker
+
 	flitsRouted uint64
 	Counters    sim.Counters
 }
@@ -594,10 +598,11 @@ func (n *Network) nisIdle() bool {
 
 // NextWake implements sim.Sleeper. The NoC has no timed state of its own —
 // flits move whenever they can — so it is either active this cycle or
-// quiescent until some master injects again (and an injecting master keeps
-// the engine ticking itself). Every in-network flit belongs to a live
-// pooled packet, so livePackets == 0 makes the full router scan
-// unnecessary.
+// quiescent until some master injects again; the injection (a TryRequest on
+// a master NI) fires the wake hook, so quiescence is a safe promise even
+// under the event kernel, where a sleeping network is not ticked at all
+// while other devices run. Every in-network flit belongs to a live pooled
+// packet, so livePackets == 0 makes the full router scan unnecessary.
 func (n *Network) NextWake(now uint64) uint64 {
 	if n.livePackets == 0 && n.nisIdle() {
 		return sim.WakeNever
@@ -605,8 +610,28 @@ func (n *Network) NextWake(now uint64) uint64 {
 	return now
 }
 
+// SetWaker implements sim.WakeSink: the engine hands the network its wake
+// handle at registration, and the master NIs fire it when a TryRequest
+// arrives while the network may be sleeping.
+func (n *Network) SetWaker(w sim.Waker) { n.waker = w }
+
+// wakeUp fires the engine wake hook (no-op outside an engine).
+func (n *Network) wakeUp() {
+	if n.waker != nil {
+		n.waker.Wake()
+	}
+}
+
+// TickWake implements sim.TickSleeper (Tick then NextWake in one dispatch).
+func (n *Network) TickWake(cycle uint64) uint64 {
+	n.Tick(cycle)
+	return n.NextWake(cycle + 1)
+}
+
 var _ sim.Device = (*Network)(nil)
 var _ sim.Sleeper = (*Network)(nil)
+var _ sim.WakeSink = (*Network)(nil)
+var _ sim.TickSleeper = (*Network)(nil)
 
 // reqFlits returns the request packet length: header + address/meta flit,
 // plus one payload flit per written word.

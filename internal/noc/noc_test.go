@@ -295,3 +295,83 @@ func TestAttachErrors(t *testing.T) {
 	}()
 	n.AttachMaster(0)
 }
+
+// hintedProbe is a minimal Sleeper master that consumes the port's
+// WakeHint the way core.Device does: it polls unless the port promises a
+// frozen horizon.
+type hintedProbe struct {
+	port     ocp.MasterPort
+	hinter   ocp.WakeHinter
+	state    int
+	acceptAt uint64
+	respAt   uint64
+}
+
+func (p *hintedProbe) Tick(c uint64) {
+	switch p.state {
+	case 0:
+		req := ocp.Request{Cmd: ocp.Read, Addr: 0xdead0000, Burst: 1}
+		if p.port.TryRequest(&req) {
+			p.acceptAt = c
+			p.state = 1
+		}
+	case 1:
+		if r, ok := p.port.TakeResponse(); ok {
+			if !r.Err {
+				panic("expected an error response for the unmapped read")
+			}
+			p.respAt = c
+			p.state = 2
+		}
+	}
+}
+
+func (p *hintedProbe) NextWake(now uint64) uint64 {
+	if p.state == 2 {
+		return sim.WakeNever
+	}
+	if p.hinter != nil {
+		if w := p.hinter.WakeHint(now); w > now {
+			return w
+		}
+	}
+	return now
+}
+
+// TestDecodeErrorHintTiming pins the WakeHint/accept interaction: a
+// decode-error read synthesises its response (hasResp, respAt) while the
+// accept handshake is still pending, and a hinted master must keep polling
+// through the accept rather than sleeping to respAt — the event kernel
+// must reproduce the strict kernel's accept and response cycles even with
+// RespCycles far beyond the nap threshold.
+func TestDecodeErrorHintTiming(t *testing.T) {
+	run := func(kernel sim.Kernel) (accept, resp uint64) {
+		t.Helper()
+		e := sim.NewEngine(sim.Clock{})
+		e.SetKernel(kernel)
+		n := New(Config{RespCycles: 16}, e.Cycle)
+		ram := mem.NewRAM("ram", 0x1000, 0x1000, 1)
+		if err := n.AttachSlave(n.Nodes()-1, ram, ram.Range()); err != nil {
+			t.Fatal(err)
+		}
+		p := &hintedProbe{port: n.AttachMaster(0)}
+		p.hinter, _ = p.port.(ocp.WakeHinter)
+		e.Add(p)
+		e.Add(n)
+		if _, err := e.Run(10_000, func() bool { return p.state == 2 }); err != nil {
+			t.Fatal(err)
+		}
+		return p.acceptAt, p.respAt
+	}
+	sa, sr := run(sim.KernelStrict)
+	for _, kernel := range []sim.Kernel{sim.KernelSkip, sim.KernelEvent} {
+		ka, kr := run(kernel)
+		if sa != ka || sr != kr {
+			t.Fatalf("decode-error timing diverged: strict accept %d resp %d, %v accept %d resp %d",
+				sa, sr, kernel, ka, kr)
+		}
+	}
+	if sr == 0 {
+		t.Fatal("probe never took the error response")
+	}
+}

@@ -99,6 +99,19 @@ func (m *Monitor) TakeResponse() (*Response, bool) {
 // Busy implements MasterPort.
 func (m *Monitor) Busy() bool { return m.port.Busy() }
 
+// WakeHint implements WakeHinter by delegation, so tracing a port does not
+// cost the master its ability to sleep through known stall horizons.
+// Monitors record only on TryRequest/TakeResponse transitions, which a
+// hinted sleep by definition does not skip.
+func (m *Monitor) WakeHint(now uint64) uint64 {
+	if h, ok := m.port.(WakeHinter); ok {
+		return h.WakeHint(now)
+	}
+	return now
+}
+
+var _ WakeHinter = (*Monitor)(nil)
+
 // Events returns the recorded transactions in issue order. The returned
 // slice is owned by the monitor; callers must not modify it.
 func (m *Monitor) Events() []Event { return m.events }

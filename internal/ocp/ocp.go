@@ -126,6 +126,20 @@ type MasterPort interface {
 	Busy() bool
 }
 
+// WakeHinter is optionally implemented by master ports that can bound when
+// a blocked master could next make progress: WakeHint(now) returns the
+// earliest cycle at which a pending TryRequest could be accepted or a
+// pending TakeResponse could deliver. The hint carries the sim.Sleeper
+// strictness: a returned w > now is a promise that the port's answers are
+// frozen for every cycle in [now, w), so a master blocked on the port may
+// skip its polling ticks entirely under the event-driven kernel. Ports that
+// cannot bound the next transition must return now — the blocked master
+// then simply polls every cycle, as it would on a port without the
+// interface.
+type WakeHinter interface {
+	WakeHint(now uint64) uint64
+}
+
 // Slave is the slave-side target invoked by an interconnect once a
 // transaction wins arbitration and traverses the fabric.
 type Slave interface {

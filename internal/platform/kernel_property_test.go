@@ -82,10 +82,16 @@ func fabricVariants() []struct {
 	}
 }
 
+// propertyKernels is the kernel matrix the equivalence properties run
+// over: the strict reference plus both tick-eliding kernels.
+func propertyKernels() []platform.KernelMode {
+	return []platform.KernelMode{platform.KernelStrict, platform.KernelSkip, platform.KernelEvent}
+}
+
 // TestKernelPropertyRandomPrograms is the property half of the equivalence
 // gate: for randomized TG programs on the bus, the mesh and the torus, the
-// strict and skip kernels must agree on every master's halt cycle, the
-// makespan, and the final engine cycle count.
+// strict, skip and event kernels must agree on every master's halt cycle,
+// the makespan, and the final engine cycle count.
 func TestKernelPropertyRandomPrograms(t *testing.T) {
 	const trials = 25
 	for trial := 0; trial < trials; trial++ {
@@ -121,15 +127,17 @@ func TestKernelPropertyRandomPrograms(t *testing.T) {
 				return makespan, sys.Engine.Cycle(), halts
 			}
 			mkS, cycS, haltS := run(platform.KernelStrict)
-			mkK, cycK, haltK := run(platform.KernelSkip)
-			if mkS != mkK || cycS != cycK {
-				t.Fatalf("trial %d %s: strict makespan %d (cycle %d) vs skip %d (cycle %d)",
-					trial, fv.name, mkS, cycS, mkK, cycK)
-			}
-			for i := range haltS {
-				if haltS[i] != haltK[i] {
-					t.Fatalf("trial %d %s master %d: strict halt %d vs skip halt %d",
-						trial, fv.name, i, haltS[i], haltK[i])
+			for _, kernel := range propertyKernels()[1:] {
+				mkK, cycK, haltK := run(kernel)
+				if mkS != mkK || cycS != cycK {
+					t.Fatalf("trial %d %s: strict makespan %d (cycle %d) vs %v %d (cycle %d)",
+						trial, fv.name, mkS, cycS, kernel, mkK, cycK)
+				}
+				for i := range haltS {
+					if haltS[i] != haltK[i] {
+						t.Fatalf("trial %d %s master %d: strict halt %d vs %v halt %d",
+							trial, fv.name, i, haltS[i], kernel, haltK[i])
+					}
 				}
 			}
 		}
@@ -202,17 +210,19 @@ func TestKernelPropertyRandomScenarios(t *testing.T) {
 			return makespan, sys.Engine.Cycle(), issued, hists
 		}
 		mkS, cycS, issS, histS := run(platform.KernelStrict)
-		mkK, cycK, issK, histK := run(platform.KernelSkip)
-		if mkS != mkK || cycS != cycK {
-			t.Fatalf("trial %d %s %v/%v: strict makespan %d (cycle %d) vs skip %d (cycle %d)",
-				trial, fv.name, scfg.Dist, spatial.Pattern, mkS, cycS, mkK, cycK)
-		}
-		if !reflect.DeepEqual(issS, issK) {
-			t.Fatalf("trial %d %s: issue counts diverged: %v vs %v", trial, fv.name, issS, issK)
-		}
-		if !reflect.DeepEqual(histS, histK) {
-			t.Fatalf("trial %d %s: latency histograms diverged:\nstrict: %+v\nskip:   %+v",
-				trial, fv.name, histS, histK)
+		for _, kernel := range propertyKernels()[1:] {
+			mkK, cycK, issK, histK := run(kernel)
+			if mkS != mkK || cycS != cycK {
+				t.Fatalf("trial %d %s %v/%v: strict makespan %d (cycle %d) vs %v %d (cycle %d)",
+					trial, fv.name, scfg.Dist, spatial.Pattern, mkS, cycS, kernel, mkK, cycK)
+			}
+			if !reflect.DeepEqual(issS, issK) {
+				t.Fatalf("trial %d %s: %v issue counts diverged: %v vs %v", trial, fv.name, kernel, issS, issK)
+			}
+			if !reflect.DeepEqual(histS, histK) {
+				t.Fatalf("trial %d %s: latency histograms diverged:\nstrict: %+v\n%v: %+v",
+					trial, fv.name, histS, kernel, histK)
+			}
 		}
 	}
 }

@@ -51,7 +51,7 @@ type Master interface {
 type KernelMode int
 
 const (
-	// KernelAuto picks the idle-skipping kernel for TG-replay platforms
+	// KernelAuto picks the event-driven kernel for TG-replay platforms
 	// (BuildTG, BuildClone) and the strict kernel everywhere else — in
 	// particular for ARM reference runs, whose reported ARM-vs-TG speedups
 	// must not be inflated by kernel tricks.
@@ -62,6 +62,11 @@ const (
 	// The engine silently falls back to strict ticking when a registered
 	// device does not implement sim.Sleeper (e.g. miniARM cores).
 	KernelSkip
+	// KernelEvent ticks only the devices whose scheduled wake is due each
+	// cycle and jumps all-asleep spans like KernelSkip; per-cycle cost
+	// scales with the awake set, not the core count. Falls back to strict
+	// ticking under the same condition as KernelSkip.
+	KernelEvent
 )
 
 func (k KernelMode) String() string {
@@ -72,6 +77,8 @@ func (k KernelMode) String() string {
 		return "strict"
 	case KernelSkip:
 		return "skip"
+	case KernelEvent:
+		return "event"
 	}
 	return fmt.Sprintf("KernelMode(%d)", int(k))
 }
@@ -85,8 +92,10 @@ func ParseKernel(s string) (KernelMode, error) {
 		return KernelStrict, nil
 	case "skip":
 		return KernelSkip, nil
+	case "event":
+		return KernelEvent, nil
 	}
-	return 0, fmt.Errorf("platform: unknown kernel %q (want auto, strict or skip)", s)
+	return 0, fmt.Errorf("platform: unknown kernel %q (want auto, strict, skip or event)", s)
 }
 
 // kernel maps a KernelMode onto the engine's kernel, resolving KernelAuto
@@ -97,6 +106,8 @@ func (k KernelMode) kernel(auto sim.Kernel) sim.Kernel {
 		return sim.KernelStrict
 	case KernelSkip:
 		return sim.KernelSkip
+	case KernelEvent:
+		return sim.KernelEvent
 	}
 	return auto
 }
@@ -127,10 +138,10 @@ type Config struct {
 	// Trace enables OCP monitors on every master port.
 	Trace bool
 	// Kernel selects the simulation kernel. The default, KernelAuto,
-	// resolves to skip for TG-replay builders and strict otherwise; strict
-	// and skip runs produce identical simulated state (the differential
-	// tests assert byte-identical sweep artifacts), differing only in host
-	// time.
+	// resolves to the event-driven kernel for TG-replay builders and
+	// strict otherwise; strict, skip and event runs produce identical
+	// simulated state (the differential tests assert byte-identical sweep
+	// artifacts), differing only in host time.
 	Kernel KernelMode
 }
 

@@ -22,15 +22,15 @@ func TGFactory(programs []*core.Program) MasterFactory {
 }
 
 // BuildTG assembles a platform driven by TG devices. Under KernelAuto the
-// platform runs the idle-skipping kernel: TG replay is exactly the workload
-// the skip kernel accelerates (deep Idle gaps, quiescent fabric), and its
-// results are identical to a strict run.
+// platform runs the event-driven kernel: TG replay is exactly the workload
+// it accelerates (deep Idle gaps, mixed busy/idle masters, quiescent
+// fabric), and its results are identical to a strict run.
 func BuildTG(cfg Config, programs []*core.Program) (*System, error) {
 	if len(programs) != cfg.Cores {
 		return nil, fmt.Errorf("platform: %d TG programs for %d cores", len(programs), cfg.Cores)
 	}
 	if cfg.Kernel == KernelAuto {
-		cfg.Kernel = KernelSkip
+		cfg.Kernel = KernelEvent
 	}
 	return Build(cfg, TGFactory(programs))
 }
@@ -45,13 +45,13 @@ func CloneFactory(events [][]ocp.Event) MasterFactory {
 }
 
 // BuildClone assembles a platform driven by cloning replayers. Like
-// BuildTG, KernelAuto resolves to the idle-skipping kernel.
+// BuildTG, KernelAuto resolves to the event-driven kernel.
 func BuildClone(cfg Config, events [][]ocp.Event) (*System, error) {
 	if len(events) != cfg.Cores {
 		return nil, fmt.Errorf("platform: %d clone traces for %d cores", len(events), cfg.Cores)
 	}
 	if cfg.Kernel == KernelAuto {
-		cfg.Kernel = KernelSkip
+		cfg.Kernel = KernelEvent
 	}
 	return Build(cfg, CloneFactory(events))
 }

@@ -1,0 +1,82 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into a
+// command, so every binary in cmd/ shares one implementation instead of
+// duplicating the pprof start/stop choreography.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the registered profiling flag values.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// Register adds -cpuprofile and -memprofile to the default flag set. Call
+// before flag.Parse.
+func Register() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling if requested and returns a stop function that
+// finishes the CPU profile and writes the heap profile. Call the stop
+// function on the success path only (a failed run exits without profiles,
+// matching the behaviour tgsweep always had).
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *f.mem != "" {
+			mf, err := os.Create(*f.mem)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				mf.Close()
+				return err
+			}
+			return mf.Close()
+		}
+		return nil
+	}, nil
+}
+
+// MustStart is Start with errors routed to stderr + exit, the shape every
+// cmd/ main wants.
+func (f *Flags) MustStart(tool string) (stop func()) {
+	s, err := f.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+	return func() {
+		if err := s(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -36,6 +36,7 @@ const (
 type Clone struct {
 	events []ocp.Event
 	port   ocp.MasterPort
+	hinter ocp.WakeHinter // port's optional stall-horizon interface
 	id     int
 
 	i       int
@@ -57,7 +58,9 @@ func NewClone(id int, events []ocp.Event, port ocp.MasterPort) *Clone {
 	if port == nil {
 		panic("replay: NewClone requires a port")
 	}
-	return &Clone{events: events, port: port, id: id}
+	c := &Clone{events: events, port: port, id: id}
+	c.hinter, _ = port.(ocp.WakeHinter)
+	return c
 }
 
 // Name implements sim.Named.
@@ -118,7 +121,9 @@ func (c *Clone) Tick(cycle uint64) {
 
 // NextWake implements sim.Sleeper: between transactions the clone sleeps
 // until the next event's recorded assert cycle; mid-handshake it must be
-// ticked every cycle.
+// ticked every cycle. The recorded schedule is fixed and responses are
+// ignored, so the sleep is a strict "will not act before" promise and the
+// event kernel may omit every tick until the assert cycle.
 func (c *Clone) NextWake(now uint64) uint64 {
 	switch c.state {
 	case cDone:
@@ -129,9 +134,24 @@ func (c *Clone) NextWake(now uint64) uint64 {
 				return at
 			}
 		}
+	case cIssue, cResp:
+		// Blocked on the interconnect: sleep to the port's stall horizon
+		// when it can bound one (see ocp.WakeHinter).
+		if c.hinter != nil {
+			if w := c.hinter.WakeHint(now); w > now {
+				return w
+			}
+		}
 	}
 	return now
 }
 
+// TickWake implements sim.TickSleeper (Tick then NextWake in one dispatch).
+func (c *Clone) TickWake(cycle uint64) uint64 {
+	c.Tick(cycle)
+	return c.NextWake(cycle + 1)
+}
+
 var _ sim.Device = (*Clone)(nil)
 var _ sim.Sleeper = (*Clone)(nil)
+var _ sim.TickSleeper = (*Clone)(nil)

@@ -20,6 +20,15 @@
 // reference runs stay on the strict kernel so the paper's speedup numbers
 // are not inflated by kernel tricks; see the package README's Performance
 // section for the fidelity argument.
+//
+// The event-driven kernel (KernelEvent, event.go) goes one step further:
+// instead of requiring every device to sleep before any cycle can be
+// elided, it keeps a per-device wake schedule and ticks only the devices
+// that are due each cycle. Its per-cycle cost scales with the number of
+// awake devices, not the device count, so one saturated master among many
+// idle ones no longer drags the whole platform back to strict-ticking
+// speed. The all-asleep case degenerates to exactly the skip kernel's
+// cycle jump.
 package sim
 
 import (
@@ -53,19 +62,29 @@ type Named interface {
 const WakeNever = ^uint64(0)
 
 // Sleeper is optionally implemented by devices that can declare future
-// idleness to the skip kernel. NextWake(now) returns the earliest cycle at
-// which the device might change state or perform work, given that it has
-// been ticked for every executed cycle before now:
+// idleness to the skip and event kernels. NextWake(now) returns the
+// earliest cycle at which the device might change state or perform work:
 //
 //   - now:        the device needs its Tick at cycle now (it is active);
-//   - w > now:    the device's Ticks are guaranteed no-ops for every cycle
-//     in [now, w) — the engine may skip them;
+//   - w > now:    the device will not act before cycle w — its Ticks are
+//     guaranteed no-ops for every cycle in [now, w) and the engine may
+//     omit them entirely;
 //   - WakeNever:  the device is permanently quiescent.
 //
-// The contract is conservative: a device that cannot cheaply bound its next
-// activity must return now. The engine only skips when every registered
-// device agrees, so one conservative device simply disables skipping without
-// affecting correctness.
+// The contract is strict, not advisory: a reported wake of w is a promise
+// that holds even if the device is never ticked and never re-queried
+// during [now, w) — the event kernel removes sleeping devices from the
+// tick loop altogether, and the skip kernel memoizes reported wakes. A
+// device whose earliest action can move earlier because of external input
+// (an interconnect receiving a TryRequest from a master) must therefore
+// implement WakeSink and call its Waker when that input arrives; purely
+// self-timed devices (absolute idle deadlines, recorded schedules) need
+// nothing extra.
+//
+// The contract is also conservative: a device that cannot cheaply bound
+// its next activity must return now. One conservative device merely keeps
+// itself in the per-cycle tick set (event kernel) or disables whole-cycle
+// skipping (skip kernel) without affecting correctness.
 type Sleeper interface {
 	NextWake(now uint64) uint64
 }
@@ -81,6 +100,12 @@ const (
 	// It requires every registered device to implement Sleeper; if any does
 	// not, the engine silently degrades to strict ticking.
 	KernelSkip
+	// KernelEvent ticks only devices whose scheduled wake is due, using a
+	// per-device wake schedule (see event.go); when every device sleeps it
+	// jumps the cycle counter like KernelSkip. It requires every registered
+	// device to implement Sleeper; if any does not, the engine silently
+	// degrades to strict ticking.
+	KernelEvent
 )
 
 func (k Kernel) String() string {
@@ -89,6 +114,8 @@ func (k Kernel) String() string {
 		return "strict"
 	case KernelSkip:
 		return "skip"
+	case KernelEvent:
+		return "event"
 	}
 	return fmt.Sprintf("Kernel(%d)", int(k))
 }
@@ -113,9 +140,31 @@ type Engine struct {
 	// contended phases cost one NextWake call per cycle instead of a full
 	// scan.
 	blocker int
-	// SkippedCycles counts cycles the skip kernel fast-forwarded over
-	// (diagnostics only; strict runs keep it at zero).
+	// wakeMemo caches, per sleeper, the last reported wake cycle. While the
+	// cached value is in the future the skip kernel's nextWake scan trusts
+	// it instead of re-querying the device; wakeDevice (the WakeSink hook)
+	// invalidates the entry when external input arrives early.
+	wakeMemo []uint64
+	// SkippedCycles counts cycles the skip and event kernels fast-forwarded
+	// over (diagnostics only; strict runs keep it at zero).
 	SkippedCycles uint64
+
+	// Event-kernel schedule (event.go): evActive is the sorted list of
+	// awake device indices swept each cycle; evHeap is an indexed min-heap
+	// of sleeping devices ordered by (evWake, index), with evPos tracking
+	// each device's heap slot (notInHeap while active). evSweep is the
+	// in-cycle sweep position (mid-sweep wakes adjust it to keep the
+	// strict tick ordering); evLive is true while an event-kernel run is
+	// in progress.
+	evActive []int32
+	evHeap   []int32
+	evPos    []int32
+	evWake   []uint64
+	evSweep  int32
+	evLive   bool
+	// evFused mirrors devices with their TickSleeper fast path (nil where
+	// unimplemented).
+	evFused []TickSleeper
 }
 
 // NewEngine returns an engine using the given clock. A zero Clock means the
@@ -157,13 +206,19 @@ func (e *Engine) Add(d Device) {
 			e.sleepers = nil
 		}
 	}
+	if ws, ok := d.(WakeSink); ok {
+		ws.SetWaker(&engineWaker{e: e, idx: int32(len(e.devices) - 1)})
+	}
+	f, _ := d.(TickSleeper)
+	e.evFused = append(e.evFused, f)
 }
 
 // Devices returns the number of registered devices.
 func (e *Engine) Devices() int { return len(e.devices) }
 
 // CanSkip reports whether every registered device implements Sleeper, i.e.
-// whether the skip kernel can actually fast-forward on this engine.
+// whether the skip and event kernels can actually elide ticks on this
+// engine (both degrade to strict ticking otherwise).
 func (e *Engine) CanSkip() bool { return e.sleepers != nil }
 
 // Cycle returns the current cycle number, i.e. the number of completed
@@ -182,11 +237,15 @@ func (e *Engine) Step() {
 // nextWake returns the earliest cycle at which any device might act, asking
 // every Sleeper with now = e.cycle (the next cycle to execute). The scan
 // rotates, starting from the last blocking device, and exits at the first
-// device that needs a tick now. The caller guarantees e.sleepers is
-// non-nil and non-empty.
+// device that needs a tick now. Sleepers whose previously reported wake is
+// still in the future are not re-queried: the Sleeper contract makes the
+// cached value binding until then, and wakeDevice invalidates the memo when
+// external input arrives early. The caller guarantees e.sleepers and
+// e.wakeMemo are non-nil and sized alike.
 func (e *Engine) nextWake() uint64 {
 	now := e.cycle
 	sl := e.sleepers
+	memo := e.wakeMemo
 	n := len(sl)
 	if e.blocker >= n {
 		e.blocker = 0
@@ -197,7 +256,11 @@ func (e *Engine) nextWake() uint64 {
 		if i >= n {
 			i -= n
 		}
-		nw := sl[i].NextWake(now)
+		nw := memo[i]
+		if nw <= now {
+			nw = sl[i].NextWake(now)
+			memo[i] = nw
+		}
 		if nw <= now {
 			e.blocker = i
 			return now
@@ -207,6 +270,19 @@ func (e *Engine) nextWake() uint64 {
 		}
 	}
 	return w
+}
+
+// resetWakeMemo sizes and clears the skip kernel's per-sleeper wake cache
+// (stale entries could date from before direct device manipulation between
+// runs, which bypasses the WakeSink hooks).
+func (e *Engine) resetWakeMemo() {
+	n := len(e.sleepers)
+	if cap(e.wakeMemo) < n {
+		e.wakeMemo = make([]uint64, n)
+		return
+	}
+	e.wakeMemo = e.wakeMemo[:n]
+	clear(e.wakeMemo)
 }
 
 // Run steps the simulation until done() reports true (checked after each
@@ -248,25 +324,57 @@ func (e *Engine) RunEvery(maxCycles, stride uint64, done func() bool) (uint64, e
 // boundaries (relative to the start cycle) and, if the final budgeted cycle
 // is not a boundary, once more after the loop — never twice for the same
 // cycle. All loop state (start, end, the done closure's captures) is hoisted
-// out of the per-cycle path, and the body allocates nothing.
+// out of the per-cycle path, and the body allocates nothing in steady state.
+//
+// The three kernels share this loop. Strict executes every cycle with a
+// full-device Step. Skip does the same but fast-forwards over all-asleep
+// spans. Event replaces Step with stepEvent (ticking only due devices) and
+// reads the next wake straight off the schedule's heap top; its jump logic
+// is the skip kernel's, so the all-asleep case is byte-for-byte the same.
 func (e *Engine) run(maxCycles, stride uint64, done func() bool) (uint64, error) {
 	if done == nil {
 		return 0, errors.New("sim: Run requires a completion predicate")
 	}
-	skip := e.kernel == KernelSkip && e.sleepers != nil
+	event := e.kernel == KernelEvent && e.sleepers != nil
+	skip := event || (e.kernel == KernelSkip && e.sleepers != nil)
+	if skip && !event {
+		e.resetWakeMemo()
+	}
+	if event {
+		e.initEventSchedule()
+		e.evLive = true
+		defer func() { e.evLive = false }()
+	}
 	start := e.cycle
 	end := start + maxCycles
 	checked := false // whether done() was evaluated at the current cycle
+	// untilCheck counts down to the next stride boundary, replacing a
+	// per-cycle modulo; skip/event jumps recompute it from the landing
+	// cycle.
+	untilCheck := stride
 	for e.cycle < end {
-		e.Step()
-		checked = (e.cycle-start)%stride == 0
-		if checked && done() {
-			return e.cycle - start, nil
+		if event {
+			e.stepEvent()
+		} else {
+			e.Step()
+		}
+		untilCheck--
+		checked = untilCheck == 0
+		if checked {
+			untilCheck = stride
+			if done() {
+				return e.cycle - start, nil
+			}
 		}
 		if !skip {
 			continue
 		}
-		w := e.nextWake()
+		var w uint64
+		if event {
+			w = e.eventNextWake()
+		} else {
+			w = e.nextWake()
+		}
 		if w <= e.cycle {
 			continue
 		}
@@ -300,6 +408,7 @@ func (e *Engine) run(maxCycles, stride uint64, done func() bool) (uint64, error)
 		e.SkippedCycles += w - e.cycle
 		e.cycle = w
 		checked = false
+		untilCheck = stride - (w-start)%stride
 	}
 	if !checked && done() {
 		return e.cycle - start, nil

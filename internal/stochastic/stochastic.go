@@ -111,6 +111,7 @@ type Generator struct {
 	cfg     Config
 	rng     *rand.Rand
 	port    ocp.MasterPort
+	hinter  ocp.WakeHinter // port's optional stall-horizon interface
 	id      int
 	sampler *Sampler // non-nil when cfg.Spatial is set
 
@@ -151,7 +152,7 @@ func New(id int, cfg Config, port ocp.MasterPort) *Generator {
 		panic("stochastic: Config.Ranges must not be empty")
 	}
 	cfg = cfg.withDefaults()
-	return &Generator{
+	g := &Generator{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
 		port:    port,
@@ -159,6 +160,8 @@ func New(id int, cfg Config, port ocp.MasterPort) *Generator {
 		sampler: sampler,
 		Latency: sim.NewHistogram(4, 8, 16, 32, 64, 128, 256),
 	}
+	g.hinter, _ = port.(ocp.WakeHinter)
+	return g
 }
 
 // Name implements sim.Named.
@@ -259,7 +262,10 @@ func (g *Generator) Tick(cycle uint64) {
 // NextWake implements sim.Sleeper: a finished generator never wakes, an
 // idle one wakes at its next scheduled injection, and one mid-handshake
 // must be ticked every cycle. A generator that has issued its full count
-// also asks for one more tick, in which it records its halt.
+// also asks for one more tick, in which it records its halt. The
+// inter-injection sleep is a strict "will not act before" promise — the
+// schedule is drawn up front and no external input can advance it — so the
+// event kernel may drop the generator from the tick loop until wakeAt.
 func (g *Generator) NextWake(now uint64) uint64 {
 	switch g.state {
 	case gDone:
@@ -268,9 +274,24 @@ func (g *Generator) NextWake(now uint64) uint64 {
 		if g.issued < g.cfg.Count && g.wakeAt > now {
 			return g.wakeAt
 		}
+	case gIssue, gResp:
+		// Blocked on the interconnect: sleep to the port's stall horizon
+		// when it can bound one (see ocp.WakeHinter).
+		if g.hinter != nil {
+			if w := g.hinter.WakeHint(now); w > now {
+				return w
+			}
+		}
 	}
 	return now
 }
 
+// TickWake implements sim.TickSleeper (Tick then NextWake in one dispatch).
+func (g *Generator) TickWake(cycle uint64) uint64 {
+	g.Tick(cycle)
+	return g.NextWake(cycle + 1)
+}
+
 var _ sim.Device = (*Generator)(nil)
 var _ sim.Sleeper = (*Generator)(nil)
+var _ sim.TickSleeper = (*Generator)(nil)

@@ -9,99 +9,79 @@ import (
 	"noctg/internal/platform"
 )
 
-// TestKernelDifferentialGrid is the tentpole equivalence gate for the grid
-// sweep: every DefaultGrid point must produce an identical Result under the
-// strict and the idle-skipping kernel, down to byte-identical JSON and CSV
-// artifacts.
-func TestKernelDifferentialGrid(t *testing.T) {
-	points := DefaultGrid().Expand()
+// diffKernels is the kernel matrix every differential gate runs: the strict
+// reference, the whole-cycle skip kernel, and the event-driven active-set
+// kernel.
+func diffKernels() []platform.KernelMode {
+	return []platform.KernelMode{platform.KernelStrict, platform.KernelSkip, platform.KernelEvent}
+}
 
+// assertKernelDifferential runs points under every kernel and asserts the
+// Results — and the JSON/CSV artifacts serialised from them — are
+// byte-identical to the strict reference.
+func assertKernelDifferential(t *testing.T, points []Point) {
+	t.Helper()
 	strict, err := Runner{Kernel: platform.KernelStrict}.Run(points)
 	if err != nil {
 		t.Fatal(err)
-	}
-	skip, err := Runner{Kernel: platform.KernelSkip}.Run(points)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(strict) != len(skip) {
-		t.Fatalf("strict produced %d results, skip %d", len(strict), len(skip))
 	}
 	for i := range strict {
 		if strict[i].Err != "" {
 			t.Fatalf("strict point %d (%s @ %s): %s", i, strict[i].Workload, strict[i].Fabric, strict[i].Err)
 		}
-		if !reflect.DeepEqual(strict[i], skip[i]) {
-			t.Fatalf("point %d (%s @ %s) diverged:\nstrict: %+v\nskip:   %+v",
-				i, strict[i].Workload, strict[i].Fabric, strict[i], skip[i])
-		}
 	}
-
-	var js, jk, cs, ck bytes.Buffer
+	var js, cs bytes.Buffer
 	if err := WriteJSON(&js, strict); err != nil {
 		t.Fatal(err)
-	}
-	if err := WriteJSON(&jk, skip); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(js.Bytes(), jk.Bytes()) {
-		t.Fatal("JSON artifacts differ between strict and skip kernels")
 	}
 	if err := WriteCSV(&cs, strict); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteCSV(&ck, skip); err != nil {
-		t.Fatal(err)
+
+	for _, kernel := range diffKernels()[1:] {
+		got, err := Runner{Kernel: kernel}.Run(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strict) != len(got) {
+			t.Fatalf("strict produced %d results, %v %d", len(strict), kernel, len(got))
+		}
+		for i := range strict {
+			if !reflect.DeepEqual(strict[i], got[i]) {
+				t.Fatalf("point %d (%s @ %s) diverged:\nstrict: %+v\n%v: %+v",
+					i, strict[i].Workload, strict[i].Fabric, strict[i], kernel, got[i])
+			}
+		}
+		var jk, ck bytes.Buffer
+		if err := WriteJSON(&jk, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(js.Bytes(), jk.Bytes()) {
+			t.Fatalf("JSON artifacts differ between strict and %v kernels", kernel)
+		}
+		if err := WriteCSV(&ck, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cs.Bytes(), ck.Bytes()) {
+			t.Fatalf("CSV artifacts differ between strict and %v kernels", kernel)
+		}
 	}
-	if !bytes.Equal(cs.Bytes(), ck.Bytes()) {
-		t.Fatal("CSV artifacts differ between strict and skip kernels")
-	}
+}
+
+// TestKernelDifferentialGrid is the tentpole equivalence gate for the grid
+// sweep: every DefaultGrid point must produce an identical Result under the
+// strict, skip and event kernels, down to byte-identical JSON and CSV
+// artifacts.
+func TestKernelDifferentialGrid(t *testing.T) {
+	assertKernelDifferential(t, DefaultGrid().Expand())
 }
 
 // TestKernelDifferentialScenarios extends the equivalence gate over the
 // scenario space: every spatial pattern × fabric topology point of
 // ScenarioGrid must produce byte-identical JSON and CSV artifacts under
-// the strict and the idle-skipping kernel.
+// the strict, skip and event kernels.
 func TestKernelDifferentialScenarios(t *testing.T) {
-	points := ScenarioGrid().Expand()
-
-	strict, err := Runner{Kernel: platform.KernelStrict}.Run(points)
-	if err != nil {
-		t.Fatal(err)
-	}
-	skip, err := Runner{Kernel: platform.KernelSkip}.Run(points)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range strict {
-		if strict[i].Err != "" {
-			t.Fatalf("strict point %d (%s @ %s): %s", i, strict[i].Workload, strict[i].Fabric, strict[i].Err)
-		}
-		if !reflect.DeepEqual(strict[i], skip[i]) {
-			t.Fatalf("point %d (%s @ %s) diverged:\nstrict: %+v\nskip:   %+v",
-				i, strict[i].Workload, strict[i].Fabric, strict[i], skip[i])
-		}
-	}
-
-	var js, jk, cs, ck bytes.Buffer
-	if err := WriteJSON(&js, strict); err != nil {
-		t.Fatal(err)
-	}
-	if err := WriteJSON(&jk, skip); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(js.Bytes(), jk.Bytes()) {
-		t.Fatal("scenario JSON artifacts differ between strict and skip kernels")
-	}
-	if err := WriteCSV(&cs, strict); err != nil {
-		t.Fatal(err)
-	}
-	if err := WriteCSV(&ck, skip); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(cs.Bytes(), ck.Bytes()) {
-		t.Fatal("scenario CSV artifacts differ between strict and skip kernels")
-	}
+	assertKernelDifferential(t, ScenarioGrid().Expand())
 }
 
 // TestKernelDifferentialPaper runs every paper experiment family under both
@@ -125,8 +105,15 @@ func TestKernelDifferentialPaper(t *testing.T) {
 		return res
 	}
 	strict := run(platform.KernelStrict)
-	skip := run(platform.KernelSkip)
+	for _, kernel := range diffKernels()[1:] {
+		assertPaperEqual(t, strict, run(kernel))
+	}
+}
 
+// assertPaperEqual compares every simulated-state field of two full paper
+// evaluations.
+func assertPaperEqual(t *testing.T, strict, skip *PaperResults) {
+	t.Helper()
 	if len(strict.Table2) != len(skip.Table2) {
 		t.Fatalf("table2 rows: strict %d, skip %d", len(strict.Table2), len(skip.Table2))
 	}
@@ -159,20 +146,20 @@ func TestKernelDifferentialPaper(t *testing.T) {
 	}
 }
 
-// TestKernelDefaultIsSkip pins the TG-replay default: a sweep Runner with
-// the zero-value kernel mode must behave exactly like an explicit skip
-// selection (the paper-replay default the ISSUE requires).
-func TestKernelDefaultIsSkip(t *testing.T) {
+// TestKernelDefaultIsEvent pins the TG-replay default: a sweep Runner with
+// the zero-value kernel mode must behave exactly like an explicit
+// event-kernel selection (the active-set kernel is the replay default).
+func TestKernelDefaultIsEvent(t *testing.T) {
 	points := DefaultGrid().Expand()[:2]
 	auto, err := Runner{}.Run(points)
 	if err != nil {
 		t.Fatal(err)
 	}
-	skip, err := Runner{Kernel: platform.KernelSkip}.Run(points)
+	event, err := Runner{Kernel: platform.KernelEvent}.Run(points)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(auto, skip) {
-		t.Fatal("zero-value Runner kernel must resolve to skip")
+	if !reflect.DeepEqual(auto, event) {
+		t.Fatal("zero-value Runner kernel must resolve to event")
 	}
 }

@@ -63,7 +63,7 @@ func clip(b []byte) []byte {
 // TestGoldenScenarioGrid locks the full spatial-pattern × topology scenario
 // sweep: every pattern on AMBA, mesh and torus, byte-identical to the
 // committed snapshot (and, via TestKernelDifferentialScenarios, identical
-// under both kernels).
+// under all three kernels).
 func TestGoldenScenarioGrid(t *testing.T) {
 	results, err := Runner{}.Run(ScenarioGrid().Expand())
 	if err != nil {

@@ -55,9 +55,10 @@ type Runner struct {
 	// run), 2,000,000 cycles for stochastic points.
 	MaxCycles uint64
 	// Kernel selects the simulation kernel for every grid point. The
-	// default (KernelAuto) is the idle-skipping kernel: sweep points replay
-	// TGs or stochastic generators, never ARM cores, and skip runs produce
-	// byte-identical artifacts (asserted by TestKernelDifferential).
+	// default (KernelAuto) is the event-driven kernel: sweep points replay
+	// TGs or stochastic generators, never ARM cores, and the skip and
+	// event kernels produce byte-identical artifacts (asserted by
+	// TestKernelDifferential).
 	Kernel platform.KernelMode
 }
 
@@ -176,7 +177,7 @@ func (r Runner) runPoint(cache *programCache, p Point) (res Result) {
 	ic, _ := p.Fabric.interconnect()
 	kernel := r.Kernel
 	if kernel == platform.KernelAuto {
-		kernel = platform.KernelSkip
+		kernel = platform.KernelEvent
 	}
 	cfg := platform.Config{
 		Cores:        p.Workload.Cores,

@@ -1,0 +1,130 @@
+// Command benchdiff compares two bench2json baseline artifacts and fails
+// (exit 1) on regression, gating CI on the committed performance baseline.
+//
+// Two checks run per benchmark present in both files:
+//
+//   - the "simcycles" metric (the simulated makespan a benchmark reports)
+//     must match exactly: it is a deterministic function of the simulation
+//     models, so any drift is a behavioural regression, not noise;
+//   - ns/op must not regress by more than -tol percent (default 20). Host
+//     timing is noisy, so entries faster than -floor (default 50µs) are
+//     skipped — their ns/op is dominated by fixed overheads.
+//
+// With -normalize NAME, every ns/op is first divided by benchmark NAME's
+// ns/op from the same file before comparing. The probe cancels the host's
+// absolute speed to first order, so a baseline recorded on one machine
+// class still gates a different CI runner: what is compared is "cycles of
+// this benchmark per cycle of the probe", which only a real code-path
+// regression moves by 20%.
+//
+// Benchmarks present in only one file are reported but not fatal: the
+// baseline is refreshed by scripts/bench.sh, not on every added benchmark.
+//
+// Usage: benchdiff [-tol 20] [-floor 50000] [-normalize NAME] baseline.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Record mirrors scripts/bench2json's output schema.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	tol := flag.Float64("tol", 20, "allowed ns/op regression in percent")
+	floor := flag.Float64("floor", 50_000, "skip the timing check for benchmarks faster than this many ns/op in the baseline")
+	normalize := flag.String("normalize", "", "divide each ns/op by this benchmark's ns/op from the same file before comparing (cancels host speed)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol pct] [-floor ns] [-normalize NAME] baseline.json new.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	fail(err)
+	cur, err := load(flag.Arg(1))
+	fail(err)
+
+	baseScale, curScale := 1.0, 1.0
+	if *normalize != "" {
+		bp, ok1 := base[*normalize]
+		cp, ok2 := cur[*normalize]
+		if !ok1 || !ok2 || bp.NsPerOp <= 0 || cp.NsPerOp <= 0 {
+			fail(fmt.Errorf("normalize probe %q missing from one of the files", *normalize))
+		}
+		baseScale, curScale = bp.NsPerOp, cp.NsPerOp
+	}
+
+	failed := 0
+	compared := 0
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("benchdiff: %-50s only in baseline (skipped)\n", name)
+			continue
+		}
+		compared++
+		if bs, ok := b.Metrics["simcycles"]; ok {
+			if cs, ok := c.Metrics["simcycles"]; ok && bs != cs {
+				fmt.Printf("benchdiff: FAIL %-45s simcycles %v -> %v (simulated behaviour changed)\n", name, bs, cs)
+				failed++
+				continue
+			}
+		}
+		if b.NsPerOp < *floor || name == *normalize {
+			continue
+		}
+		bv, cv := b.NsPerOp/baseScale, c.NsPerOp/curScale
+		if cv > bv*(1+*tol/100) {
+			fmt.Printf("benchdiff: FAIL %-45s %.0f ns/op -> %.0f ns/op (>%+.0f%% normalized)\n",
+				name, b.NsPerOp, c.NsPerOp, *tol)
+			failed++
+		}
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("benchdiff: %-50s new (no baseline)\n", name)
+		}
+	}
+	fmt.Printf("benchdiff: %d benchmarks compared, %d regressions\n", compared, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (map[string]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []Record
+	if err := json.NewDecoder(f).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Record, len(recs))
+	for _, r := range recs {
+		// Repeated runs of one benchmark (-count N) collapse to the fastest:
+		// min-of-runs is the noise-robust statistic for "how fast can this
+		// code go on this host".
+		if prev, ok := out[r.Name]; ok && prev.NsPerOp <= r.NsPerOp {
+			continue
+		}
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
