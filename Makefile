@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke sweep scenarios golden paper clean
+.PHONY: all build test race vet fmt-check bench bench-smoke sweep scenarios curves golden paper clean
 
 all: build test
 
@@ -40,6 +40,11 @@ sweep:
 scenarios:
 	$(GO) run ./cmd/tgsweep -scenario library -out scenarios
 
+# make curves sweeps the scenario library's injection load and writes the
+# load-latency curves with detected saturation points.
+curves:
+	$(GO) run ./cmd/tgsweep -scenario library -curve -out curves
+
 # make golden regenerates the golden regression snapshots after an
 # intentional model change.
 golden:
@@ -50,4 +55,5 @@ paper:
 	$(GO) run ./cmd/tgsweep -paper -sizes quick
 
 clean:
-	rm -f bench/*.txt results.json results.csv scenarios.json scenarios.csv
+	rm -f bench/*.txt results.json results.csv scenarios.json scenarios.csv \
+		curves.json curves.csv *.test ./*/*.test

@@ -62,6 +62,56 @@ func TestZeroAllocTransactionPath(t *testing.T) {
 	}
 }
 
+func TestZeroAllocStatsRegistryHotPath(t *testing.T) {
+	// The stats registry's metric hot paths — counter adds and histogram
+	// observes on registered device-owned metrics — run on every
+	// transaction of every simulation and must never allocate; only
+	// registration and boundary snapshots may.
+	reg := sim.NewRegistry()
+	var c sim.Counter
+	h := sim.NewLatencyHistogram()
+	reg.Scope("dev").RegisterCounter("txns", &c)
+	reg.Scope("dev").RegisterHistogram("latency", h)
+	reg.OnSync(func(uint64) { c.Add(0) })
+	if avg := testing.AllocsPerRun(10, func() {
+		for i := uint64(0); i < 1000; i++ {
+			c.Add(1)
+			h.Observe(i & 511)
+		}
+	}); avg != 0 {
+		t.Fatalf("registry metric hot path allocates %.2f allocs per 1000 ops", avg)
+	}
+	// Phase-boundary settlement and reset are also allocation-free (only
+	// Snapshot, which builds maps, may allocate).
+	if avg := testing.AllocsPerRun(10, func() {
+		reg.Sync(1000)
+		reg.Reset()
+	}); avg != 0 {
+		t.Fatalf("registry Sync+Reset allocates %.2f allocs per boundary", avg)
+	}
+}
+
+// TestZeroAllocPhasedTransactionPath extends the transaction-path guard to
+// a system whose whole counter population is registry-registered: the
+// steady-state tick loop (TG masters, fabric, monitors' registry metrics)
+// must stay allocation-free with the stats subsystem fully wired.
+func TestZeroAllocPhasedTransactionPath(t *testing.T) {
+	for _, ic := range []platform.Interconnect{platform.AMBA, platform.XPipes} {
+		sys := newTransactionSystem(t, ic)
+		if sys.Stats == nil || sys.Stats.Counters() == 0 {
+			t.Fatal("transaction system has no registered stats")
+		}
+		sys.Engine.RunFor(4096)
+		if avg := testing.AllocsPerRun(5, func() {
+			sys.Engine.RunFor(10_000)
+			sys.Stats.Sync(sys.Engine.Cycle())
+			sys.Stats.Reset()
+		}); avg != 0 {
+			t.Errorf("%v: phased steady state allocates %.2f allocs per 10k cycles", ic, avg)
+		}
+	}
+}
+
 func TestZeroAllocEventKernelMixedLoad(t *testing.T) {
 	// The event kernel's whole run loop — wake heap, active-list sweeps,
 	// wake hooks, cycle jumps — must stay allocation-free in steady state

@@ -310,6 +310,31 @@ type (
 	Fig2bResult = exp.Fig2bResult
 )
 
+// Phased measurement types (the warmup/measure/drain methodology).
+type (
+	// SweepMeasure configures the phased measurement methodology for a
+	// grid or point: warmup window, fixed or CI-adaptive measurement
+	// epochs, drain window.
+	SweepMeasure = sweep.Measure
+	// SweepPhaseStats is the phased extension of a SweepResult: phase
+	// windows and per-epoch statistics.
+	SweepPhaseStats = sweep.PhaseStats
+	// SweepEpochStat is one measurement epoch's aggregated statistics.
+	SweepEpochStat = sweep.EpochStat
+	// CurveSpec names one load-latency curve: a stochastic workload swept
+	// over an injection-load axis with phased measurement per level.
+	CurveSpec = sweep.CurveSpec
+	// Curve is a measured load-latency curve with its saturation point.
+	Curve = sweep.Curve
+	// CurvePoint is one measured load level of a curve.
+	CurvePoint = sweep.CurvePoint
+	// StatsRegistry is the unified per-system stats registry devices
+	// register their counters and histograms with.
+	StatsRegistry = sim.Registry
+	// StatsCounter is a zero-allocation registry-resettable counter.
+	StatsCounter = sim.Counter
+)
+
 // Scenario types (the declarative layer over the sweep runner).
 type (
 	// ScenarioSpec is one declarative traffic scenario: fabric, topology,
@@ -328,6 +353,8 @@ var (
 	ScenarioByName = scenario.ByName
 	// ScenarioPoints compiles scenarios into runnable sweep points.
 	ScenarioPoints = scenario.Points
+	// ScenarioCurves compiles scenarios into load-latency curve specs.
+	ScenarioCurves = scenario.Curves
 	// ScenarioGrid returns the pattern × topology sweep the golden-file
 	// harness locks down.
 	ScenarioGrid = sweep.ScenarioGrid
@@ -343,6 +370,10 @@ var (
 	WriteSweepJSON = sweep.WriteJSON
 	// WriteSweepCSV renders sweep results as deterministic CSV.
 	WriteSweepCSV = sweep.WriteCSV
+	// WriteCurvesJSON renders load-latency curves as deterministic JSON.
+	WriteCurvesJSON = sweep.WriteCurvesJSON
+	// WriteCurvesCSV renders load-latency curves as deterministic CSV.
+	WriteCurvesCSV = sweep.WriteCurvesCSV
 	// RunPaper executes every paper experiment as one parallel invocation.
 	RunPaper = sweep.RunPaper
 	// RunPaperSelect executes the selected experiment families in parallel.

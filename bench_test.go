@@ -526,6 +526,50 @@ func BenchmarkSweepDefaultGrid(b *testing.B) {
 	}
 }
 
+// --- phased measurement ---
+
+// BenchmarkPhasedMeasure drives the phased warmup/epoch methodology on an
+// open-loop stochastic platform under each kernel: per-epoch registry
+// sync/snapshot/reset at forced boundary wake points plus the metric hot
+// paths (counters, latency histograms) in steady state. simcycles is
+// deterministic, so the CI smoke gate byte-compares it.
+func BenchmarkPhasedMeasure(b *testing.B) {
+	point := sweep.Point{
+		Workload: sweep.Workload{
+			Kind: sweep.KindStochastic, Dist: "poisson", Cores: 4,
+			Pattern: "uniform", PatternW: 2, PatternH: 2,
+			MeanGap: 6, Count: 1 << 30,
+		},
+		Fabric:        sweep.Fabric{Interconnect: sweep.FabricXPipes, MeshWidth: 4, MeshHeight: 3},
+		ClockPeriodNS: 5,
+		Seed:          1,
+		Measure:       &sweep.Measure{WarmupCycles: 500, EpochCycles: 1000, Epochs: 4},
+	}
+	for _, kernel := range []platform.KernelMode{platform.KernelStrict, platform.KernelSkip, platform.KernelEvent} {
+		b.Run(kernel.String(), func(b *testing.B) {
+			var cycles uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sweep.Runner{Workers: 1, Kernel: kernel}.Run([]sweep.Point{point})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res[0].Err != "" {
+					b.Fatal(res[0].Err)
+				}
+				if res[0].Phases == nil || len(res[0].Phases.Epochs) != 4 {
+					b.Fatalf("phases = %+v", res[0].Phases)
+				}
+				cycles = res[0].Engine.Cycles
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(cycles), "simcycles")
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msimcycles/s")
+		})
+	}
+}
+
 // --- kernel micro-benchmarks ---
 
 func BenchmarkEngineTick(b *testing.B) {

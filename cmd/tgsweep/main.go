@@ -9,6 +9,7 @@
 //	tgsweep [-workers N] [-grid FILE|default] [-out BASE|-] [-maxcycles N]
 //	        [-kernel auto|strict|skip] [-cpuprofile FILE] [-memprofile FILE]
 //	tgsweep -scenario FILE|library # run declarative traffic scenarios
+//	tgsweep -scenario FILE|library -curve # load-latency curves per scenario
 //	tgsweep -print-scenarios       # dump the scenario library as a template
 //	tgsweep -print-grid            # dump the default grid as a template
 //	tgsweep -paper [-sizes quick|default] [-workers N]
@@ -17,7 +18,16 @@
 // (internal/scenario JSON: fabric, topology, logical core grid, spatial
 // traffic pattern, injection distribution, load/clock/seed axes) instead
 // of a raw grid; "library" runs the stock pattern × topology evaluation
-// set. The artifacts are the same deterministic JSON/CSV files.
+// set. The artifacts are the same deterministic JSON/CSV files. Scenario
+// files may also declare the phased measurement methodology (warmup,
+// epoch_cycles, epochs or ci_target, drain): points then discard the
+// warmup transient and report steady-state epoch statistics under a
+// "phases" key per result.
+//
+// With -curve (requires -scenario), each scenario's injection load is
+// swept over its curve_gaps axis (or the stock ladder) and measured with
+// the phased methodology at every level; the artifacts are load-latency
+// curves with the detected saturation point per scenario.
 //
 // With -paper, the paper's full evaluation (Table 2, the cross-interconnect
 // .tgp check, the overhead measurement, the ablations and the Figure 2
@@ -56,6 +66,7 @@ func main() {
 		maxCycles  = flag.Uint64("maxcycles", 0, "override the per-run simulated-cycle budget")
 		printGrid  = flag.Bool("print-grid", false, "print the default grid JSON and exit")
 		printScen  = flag.Bool("print-scenarios", false, "print the scenario library JSON and exit")
+		curve      = flag.Bool("curve", false, "sweep injection load per scenario and emit load-latency curves (requires -scenario)")
 		paper      = flag.Bool("paper", false, "run the paper's experiments as one parallel invocation")
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes for -paper: quick or default")
 		kernelFlag = flag.String("kernel", "auto", "simulation kernel: auto (event for replay), strict, skip or event")
@@ -97,11 +108,18 @@ func main() {
 			f.Close()
 			fail(err)
 		}
+		if *curve {
+			runCurves(specs, *workers, *maxCycles, *out, kernel)
+			return
+		}
 		var err error
 		points, err = scenario.Points(specs)
 		fail(err)
 		fmt.Fprintf(os.Stderr, "tgsweep: %d scenarios\n", len(specs))
 	default:
+		if *curve {
+			fail(fmt.Errorf("-curve requires -scenario FILE|library"))
+		}
 		grid := sweep.DefaultGrid()
 		if *gridPath != "default" {
 			f, err := os.Open(*gridPath)
@@ -141,6 +159,48 @@ func main() {
 	fail(sweep.WriteCSV(cf, results))
 	fail(cf.Close())
 	fmt.Fprintf(os.Stderr, "tgsweep: wrote %s.json and %s.csv\n", *out, *out)
+}
+
+// runCurves sweeps each scenario's injection load and writes load-latency
+// curve artifacts (<out>.json / <out>.csv, or JSON on stdout with "-").
+func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string, kernel platform.KernelMode) {
+	css, err := scenario.Curves(specs)
+	fail(err)
+	levels := 0
+	for _, cs := range css {
+		levels += len(cs.Gaps)
+		if len(cs.Gaps) == 0 {
+			levels += len(sweep.DefaultCurveGaps)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tgsweep: %d curves (%d load levels), %d workers\n", len(css), levels, workers)
+	start := time.Now()
+	curves, err := sweep.Runner{Workers: workers, MaxCycles: maxCycles, Kernel: kernel}.RunCurves(css)
+	fail(err)
+	sat := 0
+	for _, c := range curves {
+		if c.Saturation != nil {
+			sat++
+			fmt.Fprintf(os.Stderr, "tgsweep: %s saturates at gap %g (%.1f txn/kcycle)\n",
+				c.Name, c.Saturation.MeanGap, c.Saturation.ThroughputTPK)
+		} else {
+			fmt.Fprintf(os.Stderr, "tgsweep: %s shows no saturation on its load axis\n", c.Name)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tgsweep: %d/%d curves saturated in %v\n", sat, len(curves), time.Since(start).Round(time.Millisecond))
+	if out == "-" {
+		fail(sweep.WriteCurvesJSON(os.Stdout, curves))
+		return
+	}
+	jf, err := os.Create(out + ".json")
+	fail(err)
+	fail(sweep.WriteCurvesJSON(jf, curves))
+	fail(jf.Close())
+	cf, err := os.Create(out + ".csv")
+	fail(err)
+	fail(sweep.WriteCurvesCSV(cf, curves))
+	fail(cf.Close())
+	fmt.Fprintf(os.Stderr, "tgsweep: wrote %s.json and %s.csv\n", out, out)
 }
 
 // runPaper executes the whole evaluation in parallel and prints the same

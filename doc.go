@@ -91,4 +91,36 @@
 // understate the ARM cost and corrupt the Table 2 Gain column.
 // Speedup-fidelity, in short: kernel tricks accelerate the reproduction,
 // but never the baseline the paper's claims are calibrated against.
+//
+// # Phased measurement
+//
+// Every platform carries a unified stats registry (StatsRegistry): devices
+// register their counters and histograms once under hierarchical names,
+// and measurement code syncs, snapshots and resets the whole population at
+// phase boundaries. On top of it, runs can follow the steady-state
+// methodology NoC evaluations expect — a warmup window whose statistics
+// are discarded, measurement epochs (fixed count, or adaptive until the
+// relative 95% CI half-width of the per-epoch request-latency means
+// reaches ci_target), and a bounded drain window (SweepMeasure on a grid
+// or point, or the scenario fields warmup/epoch_cycles/epochs/ci_target/
+// drain).
+//
+// Phase semantics interact with the kernels through one rule: boundaries
+// are forced wake points. Each phase window executes as its own bounded
+// kernel run, and the skip and event kernels clamp their cycle jumps at
+// window ends exactly as they clamp at cycle budgets — no jump ever
+// crosses a boundary, so strict, skip and event runs hit byte-identical
+// boundary cycles and snapshot identical registry state there (asserted
+// by the phased differential tests). Lazily credited statistics (the
+// bus's bulk busy/idle and wait-cycle credits) register sync hooks so a
+// boundary snapshot attributes every elided cycle to the epoch it belongs
+// to. Phases off reproduces the legacy single-window artifacts
+// byte-for-byte, as does the degenerate phased configuration warmup=0,
+// epochs=1, drain=0.
+//
+// Load-latency curves (CurveSpec, tgsweep -curve) build on phased
+// measurement: one stochastic scenario swept over an injection-load axis,
+// each level measured open-loop in adaptive epochs, with the saturation
+// point detected from the marginal-throughput knee, request-latency
+// blow-up versus zero-load, or unbounded epoch-over-epoch latency growth.
 package noctg

@@ -234,17 +234,20 @@ type Bus struct {
 	// driven outside an engine.
 	waker sim.Waker
 
-	// Stats
-	Counters sim.Counters
+	// Stats — all sim.Counter so one RegisterStats call puts the whole set
+	// under the platform's stats registry (epoch Reset/Snapshot at phase
+	// boundaries); the hot paths stay plain integer adds.
+	decodeErrors sim.Counter
+	slaveErrors  sim.Counter
 	// waits counts, per master, the cycles spent requesting without a
 	// grant. It is accounted lazily in bulk (see creditWait); the
 	// WaitCycles getter settles the tail of a run that ended while the bus
 	// slept, so readers always see the strict kernel's values.
-	waits      []uint64
-	Grants     []uint64 // per master: accepted transactions
-	busyCycles uint64
-	idleCycles uint64
-	grantCount uint64
+	waits      []sim.Counter
+	Grants     []sim.Counter // per master: accepted transactions
+	busyCycles sim.Counter
+	idleCycles sim.Counter
+	grantCount sim.Counter
 	requesting int // number of ports in portRequesting state
 	// openPorts counts ports with any business in flight (requesting,
 	// granted-but-unaccepted, outstanding read or undelivered response), so
@@ -308,13 +311,13 @@ func (b *Bus) Masters() int { return len(b.ports) }
 // BusyCycles returns how many cycles the bus spent occupied by a transfer.
 func (b *Bus) BusyCycles() uint64 {
 	busy, _ := b.pendingGap()
-	return b.busyCycles + busy
+	return b.busyCycles.Value() + busy
 }
 
 // IdleCycles returns how many cycles the bus had no requester.
 func (b *Bus) IdleCycles() uint64 {
 	_, idle := b.pendingGap()
-	return b.idleCycles + idle
+	return b.idleCycles.Value() + idle
 }
 
 // pendingGap returns the busy/idle credit for cycles in which the bus was
@@ -337,7 +340,7 @@ func (b *Bus) pendingGap() (busy, idle uint64) {
 }
 
 // TotalGrants returns the number of accepted transactions.
-func (b *Bus) TotalGrants() uint64 { return b.grantCount }
+func (b *Bus) TotalGrants() uint64 { return b.grantCount.Value() }
 
 // Idle reports whether no transfer is active, no master is requesting and
 // no response is pending — i.e. all posted writes have drained. Platforms
@@ -389,6 +392,54 @@ func (b *Bus) NextWake(now uint64) uint64 {
 // arrives while the bus may be sleeping.
 func (b *Bus) SetWaker(w sim.Waker) { b.waker = w }
 
+// DecodeErrors returns the number of requests that decoded to no slave.
+func (b *Bus) DecodeErrors() uint64 { return b.decodeErrors.Value() }
+
+// SlaveErrors returns the number of error responses from mapped slaves.
+func (b *Bus) SlaveErrors() uint64 { return b.slaveErrors.Value() }
+
+// RegisterStats implements sim.StatsSource: the full counter set —
+// occupancy, total and per-master grants, per-master wait cycles, decode
+// and slave errors — joins the registry so phased measurement can reset
+// and snapshot it at epoch boundaries. Call after every NewMasterPort
+// (registration captures counter addresses).
+func (b *Bus) RegisterStats(r *sim.Registry) {
+	r.RegisterCounter("busy_cycles", &b.busyCycles)
+	r.RegisterCounter("idle_cycles", &b.idleCycles)
+	r.RegisterCounter("grants", &b.grantCount)
+	r.RegisterCounter("decode_errors", &b.decodeErrors)
+	r.RegisterCounter("slave_errors", &b.slaveErrors)
+	for i := range b.ports {
+		r.RegisterCounter(fmt.Sprintf("wait_cycles/%d", i), &b.waits[i])
+		r.RegisterCounter(fmt.Sprintf("grants/%d", i), &b.Grants[i])
+	}
+	r.OnSync(b.syncStats)
+}
+
+// syncStats folds the lazily credited busy/idle gap and wait-cycle tail
+// into the counters through cycle now-1, so a phase-boundary snapshot or
+// reset attributes every cycle to the epoch it belongs to. Advancing
+// lastTick here is safe: the next Tick's gap credit starts from the new
+// value, so no cycle is counted twice.
+func (b *Bus) syncStats(now uint64) {
+	if now == 0 {
+		return
+	}
+	last := now - 1
+	if b.ticked && last > b.lastTick {
+		gap := last - b.lastTick
+		if b.hasActive {
+			b.busyCycles.Add(gap)
+		} else {
+			b.idleCycles.Add(gap)
+		}
+		b.lastTick = last
+	}
+	b.creditWait(last)
+}
+
+var _ sim.StatsSource = (*Bus)(nil)
+
 func (b *Bus) decode(addr uint32) *binding {
 	if b.lastBind < len(b.bindings) && b.bindings[b.lastBind].rng.Contains(addr) {
 		return &b.bindings[b.lastBind]
@@ -411,9 +462,9 @@ func (b *Bus) Tick(cycle uint64) {
 	if b.ticked && cycle > b.lastTick+1 {
 		gap := cycle - b.lastTick - 1
 		if b.hasActive {
-			b.busyCycles += gap
+			b.busyCycles.Add(gap)
 		} else {
-			b.idleCycles += gap
+			b.idleCycles.Add(gap)
 		}
 	}
 	// Settle the sleep gap's wait credit with the pre-arbitration
@@ -425,7 +476,7 @@ func (b *Bus) Tick(cycle uint64) {
 	b.ticked = true
 
 	if b.hasActive {
-		b.busyCycles++
+		b.busyCycles.Inc()
 		if cycle >= b.active.done {
 			b.complete(cycle)
 		}
@@ -434,7 +485,7 @@ func (b *Bus) Tick(cycle uint64) {
 		if b.requesting > 0 {
 			b.arbitrate(cycle)
 		} else {
-			b.idleCycles++
+			b.idleCycles.Inc()
 		}
 	}
 	// Account this cycle's arbitration waiting (post-grant set, exactly as
@@ -459,7 +510,7 @@ func (b *Bus) creditWait(upTo uint64) {
 	}
 	for wi, w := range b.reqMask {
 		for w != 0 {
-			b.waits[wi<<6+bits.TrailingZeros64(w)] += delta
+			b.waits[wi<<6+bits.TrailingZeros64(w)].Add(delta)
 			w &= w - 1
 		}
 	}
@@ -474,7 +525,11 @@ func (b *Bus) WaitCycles() []uint64 {
 	if now := b.now(); now > 0 {
 		b.creditWait(now - 1)
 	}
-	return b.waits
+	out := make([]uint64, len(b.waits))
+	for i := range b.waits {
+		out[i] = b.waits[i].Value()
+	}
+	return out
 }
 
 // scanReq returns the lowest requesting port id in [lo, hi), or -1.
@@ -504,11 +559,11 @@ func (b *Bus) complete(cycle uint64) {
 	var resp ocp.Response
 	if t.bind == nil {
 		resp = ocp.Response{Err: true}
-		b.Counters.Inc("decode_errors")
+		b.decodeErrors.Inc()
 	} else {
 		resp, t.port.respBuf = ocp.PerformBuffered(t.bind.slave, &t.req, t.port.respBuf)
 		if resp.Err {
-			b.Counters.Inc("slave_errors")
+			b.slaveErrors.Inc()
 		}
 	}
 	if t.req.Cmd.IsRead() {
@@ -539,7 +594,7 @@ func (b *Bus) arbitrate(cycle uint64) {
 		}
 	}
 	if winner < 0 {
-		b.idleCycles++
+		b.idleCycles.Inc()
 		return
 	}
 	p := b.ports[winner]

@@ -187,7 +187,7 @@ func TestDecodeErrorRead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bus.Counters.Get("decode_errors") != 1 {
+	if bus.DecodeErrors() != 1 {
 		t.Fatal("decode error not counted")
 	}
 	if len(m.RespData[0]) != 0 {

@@ -58,9 +58,10 @@ type Device struct {
 	haltCycle uint64
 
 	// InstRet counts executed TG instructions; Transactions counts issued
-	// OCP commands.
-	InstRet      uint64
-	Transactions uint64
+	// OCP commands. Both are registry-registerable counters (RegisterStats)
+	// so phased measurement can reset them at epoch boundaries.
+	InstRet      sim.Counter
+	Transactions sim.Counter
 }
 
 // NewDevice builds a TG executing prog through port. The program's declared
@@ -82,6 +83,12 @@ func NewDevice(prog *Program, port ocp.MasterPort) (*Device, error) {
 
 // Name implements sim.Named.
 func (d *Device) Name() string { return fmt.Sprintf("tg%d", d.id) }
+
+// RegisterStats implements sim.StatsSource.
+func (d *Device) RegisterStats(r *sim.Registry) {
+	r.RegisterCounter("inst_ret", &d.InstRet)
+	r.RegisterCounter("transactions", &d.Transactions)
+}
 
 // Done reports whether the TG halted (platform.Master).
 func (d *Device) Done() bool { return d.halted }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"noctg/internal/ocp"
+	"noctg/internal/sim"
 )
 
 type masterNIState int
@@ -37,6 +38,13 @@ type masterNI struct {
 	// each master has at most one outstanding read, so one reusable buffer
 	// per NI suffices and the response packet can be recycled on arrival.
 	respData []uint32
+
+	// reqStart is the cycle the current read was latched for injection;
+	// lat records latch-to-delivery read latency per NI — the network's
+	// own view of transaction latency, including local injection
+	// backpressure (registered via Network.RegisterStats).
+	reqStart uint64
+	lat      *sim.Histogram
 }
 
 // TryRequest implements ocp.MasterPort.
@@ -54,11 +62,12 @@ func (m *masterNI) TryRequest(req *ocp.Request) bool {
 		// kernel's tick set before any state changes land.
 		m.net.wakeUp()
 		m.req = *req
+		m.reqStart = m.net.now()
 		dst := m.net.decode(req.Addr)
 		if dst == nil {
 			// No slave: synthesise an error response locally.
 			m.state = niInjected
-			m.net.Counters.Inc("decode_errors")
+			m.net.decodeErrors.Inc()
 			if req.Cmd.IsRead() {
 				m.resp = ocp.Response{Err: true}
 				m.respAt = m.net.now() + m.net.cfg.RespCycles
@@ -102,6 +111,7 @@ func (m *masterNI) TakeResponse() (*ocp.Response, bool) {
 	}
 	m.hasResp = false
 	m.busyRead = false
+	m.lat.Observe(m.net.now() - m.reqStart)
 	return &m.resp, true
 }
 
@@ -231,7 +241,7 @@ func (s *slaveNI) tick(cycle uint64) {
 			var resp ocp.Response
 			resp, out.dataBuf = ocp.PerformBuffered(s.slave, &s.current.req, out.dataBuf)
 			if resp.Err {
-				s.net.Counters.Inc("slave_errors")
+				s.net.slaveErrors.Inc()
 			}
 			out.src, out.dst = s.node, s.current.src
 			out.isResp = true
@@ -243,7 +253,7 @@ func (s *slaveNI) tick(cycle uint64) {
 			var resp ocp.Response
 			resp, s.scratch = ocp.PerformBuffered(s.slave, &s.current.req, s.scratch)
 			if resp.Err {
-				s.net.Counters.Inc("slave_errors")
+				s.net.slaveErrors.Inc()
 			}
 		}
 		s.net.putPacket(s.current)

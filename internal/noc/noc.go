@@ -160,7 +160,10 @@ type packet struct {
 	req      ocp.Request
 	resp     ocp.Response
 	length   int
-	dataBuf  []uint32
+	// hops counts the packet's router-to-router link traversals (head
+	// flit), feeding the per-hop histogram at retirement.
+	hops    int
+	dataBuf []uint32
 }
 
 func (p *packet) vc() int {
@@ -342,6 +345,9 @@ func (r *router) deliver(dir, vc int, fl flit, cycle uint64) {
 		return
 	}
 	nb := r.n.neighbor(r.id, dir)
+	if fl.head() {
+		fl.pkt.hops++
+	}
 	fl.arrived = cycle
 	nb.in[opposite(dir)][vc].push(fl)
 }
@@ -355,6 +361,7 @@ func (r *router) tick(cycle uint64) {
 			if r.tryForward(o, vc, cycle) {
 				r.rrVC[o] = (vc + 1) % numVC
 				r.n.flitsRouted++
+				r.n.flitsVC[vc].Inc()
 				break
 			}
 		}
@@ -434,8 +441,17 @@ type Network struct {
 	// network is driven outside an engine.
 	waker sim.Waker
 
-	flitsRouted uint64
-	Counters    sim.Counters
+	// Stats — sim.Counter/sim.Histogram handles registered with the
+	// platform's stats registry (RegisterStats), so phased measurement can
+	// reset and snapshot them at epoch boundaries. flitsVC breaks link
+	// traversals down by virtual channel (message class + dateline), and
+	// hops records the per-packet hop count at retirement — breakdowns the
+	// old scalar counters could not express.
+	flitsRouted  sim.Counter
+	flitsVC      [numVC]sim.Counter
+	hops         *sim.Histogram
+	decodeErrors sim.Counter
+	slaveErrors  sim.Counter
 }
 
 // New builds a Width×Height mesh or torus. now supplies the current engine
@@ -444,7 +460,8 @@ func New(cfg Config, now func() uint64) *Network {
 	if now == nil {
 		panic("noc: New requires a cycle source")
 	}
-	n := &Network{cfg: cfg.WithDefaults(), now: now}
+	n := &Network{cfg: cfg.WithDefaults(), now: now,
+		hops: sim.NewHistogram(1, 2, 3, 4, 6, 8, 12, 16)}
 	total := n.cfg.Width * n.cfg.Height
 	for id := 0; id < total; id++ {
 		r := &router{n: n, id: id, x: id % n.cfg.Width, y: id / n.cfg.Width}
@@ -471,8 +488,11 @@ func (n *Network) getPacket() *packet {
 }
 
 // putPacket returns a dead packet to the pool, keeping its payload buffer.
+// Retirement is where the packet's hop count is final, so the per-hop
+// breakdown is observed here.
 func (n *Network) putPacket(p *packet) {
 	n.livePackets--
+	n.hops.Observe(uint64(p.hops))
 	buf := p.dataBuf
 	*p = packet{dataBuf: buf[:0]}
 	n.pktPool = append(n.pktPool, p)
@@ -488,7 +508,35 @@ func (n *Network) Nodes() int { return len(n.routers) }
 func (n *Network) Topology() Topology { return n.cfg.Topology }
 
 // FlitsRouted returns the total number of link traversals.
-func (n *Network) FlitsRouted() uint64 { return n.flitsRouted }
+func (n *Network) FlitsRouted() uint64 { return n.flitsRouted.Value() }
+
+// DecodeErrors returns the number of requests that decoded to no slave.
+func (n *Network) DecodeErrors() uint64 { return n.decodeErrors.Value() }
+
+// SlaveErrors returns the number of error responses from attached slaves.
+func (n *Network) SlaveErrors() uint64 { return n.slaveErrors.Value() }
+
+// vcNames labels the virtual channels in flit-counter metric names.
+var vcNames = [numVC]string{vcReq: "req", vcResp: "resp", vcReqDL: "req_dl", vcRespDL: "resp_dl"}
+
+// RegisterStats implements sim.StatsSource: total and per-VC flit counts,
+// the per-packet hop histogram, decode/slave error counts and every
+// master NI's latency histogram join the registry. Call after all NIs are
+// attached (registration captures metric addresses).
+func (n *Network) RegisterStats(r *sim.Registry) {
+	r.RegisterCounter("flits_routed", &n.flitsRouted)
+	for vc := range n.flitsVC {
+		r.RegisterCounter("flits/"+vcNames[vc], &n.flitsVC[vc])
+	}
+	r.RegisterHistogram("hops", n.hops)
+	r.RegisterCounter("decode_errors", &n.decodeErrors)
+	r.RegisterCounter("slave_errors", &n.slaveErrors)
+	for _, m := range n.masters {
+		r.RegisterHistogram(fmt.Sprintf("ni%d/latency", m.node), m.lat)
+	}
+}
+
+var _ sim.StatsSource = (*Network)(nil)
 
 func (n *Network) neighbor(id, dir int) *router {
 	x, y := id%n.cfg.Width, id/n.cfg.Width
@@ -516,7 +564,7 @@ func (n *Network) neighbor(id, dir int) *router {
 // returns its OCP port. Each node holds at most one NI.
 func (n *Network) AttachMaster(node int) ocp.MasterPort {
 	n.checkNode(node)
-	ni := &masterNI{net: n, node: node}
+	ni := &masterNI{net: n, node: node, lat: sim.NewLatencyHistogram()}
 	n.routers[node].local = ni
 	n.masters = append(n.masters, ni)
 	return ni

@@ -135,7 +135,7 @@ func TestDecodeErrorLocalResponse(t *testing.T) {
 	script := [][]simtest.Step{{{Gap: 0, Req: ocp.Request{Cmd: ocp.Read, Addr: 0x9f00_0000, Burst: 1}}}}
 	e, n, ms, _ := rig(t, Config{}, []int{0}, script)
 	runAll(t, e, n, ms, 1000)
-	if n.Counters.Get("decode_errors") != 1 {
+	if n.DecodeErrors() != 1 {
 		t.Fatal("decode error not counted")
 	}
 	if len(ms[0].RespData[0]) != 0 {

@@ -1,5 +1,31 @@
 package ocp
 
+import "noctg/internal/sim"
+
+// TrafficMeter is the uniform per-master traffic-statistics view the
+// measurement layer aggregates over: completed transactions, completed
+// reads, and the read-latency histogram (canonical sim.LatencyBounds
+// buckets). Monitors implement it at the OCP port; traffic sources that
+// run untraced (stochastic generators in open-loop curve runs) implement
+// it themselves.
+type TrafficMeter interface {
+	// Transactions returns completed transactions: accepted posted writes
+	// plus reads whose response arrived.
+	Transactions() uint64
+	// Reads returns completed reads.
+	Reads() uint64
+	// LatencyHist returns the accept-to-response read-latency histogram
+	// (the interconnect's service latency — the paper's port metric).
+	LatencyHist() *sim.Histogram
+	// RequestLatencyHist returns the assert-to-response read-latency
+	// histogram: service latency plus the source-queueing delay spent
+	// waiting for the interconnect to accept the request. This is the
+	// end-to-end metric load-latency curves are built on — under
+	// saturation the queueing term dominates while the service term
+	// barely moves.
+	RequestLatencyHist() *sim.Histogram
+}
+
 // Event is one traced OCP transaction as observed at a master interface.
 // The three timestamps are what the translator needs to compute
 // interconnect-independent idle gaps (see DESIGN.md §5):
@@ -45,6 +71,15 @@ type Monitor struct {
 	cur       Event
 	asserting bool // a request has been presented but not yet accepted
 	awaiting  bool // an accepted read is awaiting its response
+
+	// Registry-backed metrics mirroring the event stream: txns/reads
+	// count completed transactions as events are recorded, lat observes
+	// Resp-Accept read latencies. Unlike events, these are epoch-resettable
+	// through the stats registry, which is what phased measurement reads.
+	txns   sim.Counter
+	reads  sim.Counter
+	lat    *sim.Histogram
+	reqLat *sim.Histogram
 }
 
 // NewMonitor wraps port, reading the current cycle from now.
@@ -52,7 +87,28 @@ func NewMonitor(port MasterPort, now func() uint64) *Monitor {
 	if port == nil || now == nil {
 		panic("ocp: NewMonitor requires a port and a clock source")
 	}
-	return &Monitor{port: port, now: now}
+	return &Monitor{port: port, now: now,
+		lat: sim.NewLatencyHistogram(), reqLat: sim.NewLatencyHistogram()}
+}
+
+// Transactions implements TrafficMeter.
+func (m *Monitor) Transactions() uint64 { return m.txns.Value() }
+
+// Reads implements TrafficMeter.
+func (m *Monitor) Reads() uint64 { return m.reads.Value() }
+
+// LatencyHist implements TrafficMeter.
+func (m *Monitor) LatencyHist() *sim.Histogram { return m.lat }
+
+// RequestLatencyHist implements TrafficMeter.
+func (m *Monitor) RequestLatencyHist() *sim.Histogram { return m.reqLat }
+
+// RegisterStats implements sim.StatsSource.
+func (m *Monitor) RegisterStats(r *sim.Registry) {
+	r.RegisterCounter("transactions", &m.txns)
+	r.RegisterCounter("reads", &m.reads)
+	r.RegisterHistogram("latency", m.lat)
+	r.RegisterHistogram("req_latency", m.reqLat)
 }
 
 // TryRequest implements MasterPort, recording assert and accept cycles.
@@ -78,6 +134,7 @@ func (m *Monitor) TryRequest(req *Request) bool {
 			m.awaiting = true
 		} else {
 			m.events = append(m.events, m.cur)
+			m.txns.Inc()
 		}
 	}
 	return ok
@@ -91,6 +148,10 @@ func (m *Monitor) TakeResponse() (*Response, bool) {
 		m.cur.HasResp = true
 		m.cur.Data = append([]uint32(nil), resp.Data...)
 		m.events = append(m.events, m.cur)
+		m.txns.Inc()
+		m.reads.Inc()
+		m.lat.Observe(m.cur.Resp - m.cur.Accept)
+		m.reqLat.Observe(m.cur.Resp - m.cur.Assert)
 		m.awaiting = false
 	}
 	return resp, ok
@@ -124,3 +185,5 @@ func (m *Monitor) Reset() {
 }
 
 var _ MasterPort = (*Monitor)(nil)
+var _ TrafficMeter = (*Monitor)(nil)
+var _ sim.StatsSource = (*Monitor)(nil)

@@ -168,6 +168,13 @@ type System struct {
 	Bus *amba.Bus    // set when Interconnect == AMBA
 	Net *noc.Network // set when Interconnect == XPipes
 
+	// Stats is the system's unified stats registry: every stats-exporting
+	// device (masters, trace monitors, the fabric) registers its counters
+	// and histograms here at build time, under "master<i>/", "port<i>/",
+	// "bus/" and "noc/" scopes. Phased measurement syncs, snapshots and
+	// resets the whole population at deterministic phase boundaries.
+	Stats *sim.Registry
+
 	fabric idler
 }
 
@@ -280,6 +287,25 @@ func Build(cfg Config, factory MasterFactory) (*System, error) {
 	case s.Net != nil:
 		e.Add(s.Net)
 	}
+	// Registration runs last, once the topology is final: it captures
+	// metric addresses, so per-port counter slices must not grow afterwards.
+	s.Stats = sim.NewRegistry()
+	for i, m := range s.Masters {
+		if src, ok := m.(sim.StatsSource); ok {
+			src.RegisterStats(s.Stats.Scope(fmt.Sprintf("master%d", i)))
+		}
+	}
+	for i, mon := range s.Monitors {
+		if mon != nil {
+			mon.RegisterStats(s.Stats.Scope(fmt.Sprintf("port%d", i)))
+		}
+	}
+	switch {
+	case s.Bus != nil:
+		s.Bus.RegisterStats(s.Stats.Scope("bus"))
+	case s.Net != nil:
+		s.Net.RegisterStats(s.Stats.Scope("noc"))
+	}
 	return s, nil
 }
 
@@ -320,6 +346,32 @@ func (s *System) Run(maxCycles uint64) (uint64, error) {
 		return s.Engine.Cycle(), fmt.Errorf("platform(%s): %w", s.Cfg.Interconnect, err)
 	}
 	// Makespan = the latest master completion, not the drain tail.
+	return s.Makespan(), nil
+}
+
+// RunPhased executes the warmup → measure → drain methodology on the
+// system, using the same completion predicate and detection stride as Run.
+// Phase boundaries are forced wake points, so the three kernels land on
+// byte-identical boundary cycles (see sim.Phases). Callers drive the
+// Stats registry from the phase callbacks: Sync + Reset at the warmup
+// boundary, Sync + Snapshot + Reset at each epoch end.
+func (s *System) RunPhased(p sim.Phases, maxCycles uint64) (sim.PhasedResult, error) {
+	if p.Stride == 0 {
+		p.Stride = 32
+	}
+	res, err := s.Engine.RunPhased(p, maxCycles, func() bool {
+		return s.Done() && s.fabric.Idle()
+	})
+	if err != nil {
+		return res, fmt.Errorf("platform(%s): %w", s.Cfg.Interconnect, err)
+	}
+	return res, nil
+}
+
+// Makespan returns the latest master completion cycle (the paper's
+// "cumulative execution time"), falling back to the engine cycle when no
+// master exposes a halt cycle.
+func (s *System) Makespan() uint64 {
 	var last uint64
 	for _, m := range s.Masters {
 		if h, ok := m.(interface{ HaltCycle() uint64 }); ok {
@@ -331,7 +383,7 @@ func (s *System) Run(maxCycles uint64) (uint64, error) {
 	if last == 0 {
 		last = s.Engine.Cycle()
 	}
-	return last, nil
+	return last
 }
 
 // Peek reads a word from whichever memory maps addr (test/validation hook).

@@ -49,8 +49,9 @@ type Clone struct {
 	// Drift is the accumulated lateness (cycles) of command issue versus
 	// the recorded schedule — the cloning failure metric.
 	Drift uint64
-	// Transactions counts issued OCP commands.
-	Transactions uint64
+	// Transactions counts issued OCP commands (registry-registerable so
+	// phased measurement can reset it at epoch boundaries).
+	Transactions sim.Counter
 }
 
 // NewClone builds a cloning replayer for a recorded event stream.
@@ -65,6 +66,11 @@ func NewClone(id int, events []ocp.Event, port ocp.MasterPort) *Clone {
 
 // Name implements sim.Named.
 func (c *Clone) Name() string { return fmt.Sprintf("clone%d", c.id) }
+
+// RegisterStats implements sim.StatsSource.
+func (c *Clone) RegisterStats(r *sim.Registry) {
+	r.RegisterCounter("transactions", &c.Transactions)
+}
 
 // Done reports whether the replay finished.
 func (c *Clone) Done() bool { return c.halted }

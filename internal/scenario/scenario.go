@@ -66,6 +66,25 @@ type Spec struct {
 	// ClockPeriodsNS and Seeds are the remaining sweep axes.
 	ClockPeriodsNS []uint64 `json:"clock_periods_ns,omitempty"`
 	Seeds          []int64  `json:"seeds,omitempty"`
+
+	// Measurement methodology (all optional; zero values keep the classic
+	// whole-run accounting). Warmup discards the lead-in transient,
+	// EpochCycles/Epochs split measurement into fixed epochs, CITarget
+	// switches to adaptive epochs (run until the relative 95% CI
+	// half-width of the per-epoch request-latency means reaches the
+	// target, capped by MaxEpochs), and Drain bounds the completion
+	// window after measurement. See sweep.Measure for the full semantics.
+	Warmup      uint64  `json:"warmup,omitempty"`
+	EpochCycles uint64  `json:"epoch_cycles,omitempty"`
+	Epochs      int     `json:"epochs,omitempty"`
+	MaxEpochs   int     `json:"max_epochs,omitempty"`
+	CITarget    float64 `json:"ci_target,omitempty"`
+	Drain       uint64  `json:"drain,omitempty"`
+
+	// CurveGaps is the optional load axis for load-latency curve runs
+	// (tgsweep -curve); empty selects sweep.DefaultCurveGaps. Ignored by
+	// plain scenario sweeps, which use MeanGaps.
+	CurveGaps []float64 `json:"curve_gaps,omitempty"`
 }
 
 // withDefaults resolves the optional fields.
@@ -112,6 +131,24 @@ func (s Spec) fabric() sweep.Fabric {
 	}
 }
 
+// Measure compiles the scenario's measurement fields into a sweep
+// measurement configuration, or nil when none is set (classic whole-run
+// accounting).
+func (s Spec) Measure() *sweep.Measure {
+	if s.Warmup == 0 && s.EpochCycles == 0 && s.Epochs == 0 &&
+		s.MaxEpochs == 0 && s.CITarget == 0 && s.Drain == 0 {
+		return nil
+	}
+	return &sweep.Measure{
+		WarmupCycles: s.Warmup,
+		EpochCycles:  s.EpochCycles,
+		Epochs:       s.Epochs,
+		MaxEpochs:    s.MaxEpochs,
+		CITarget:     s.CITarget,
+		DrainCycles:  s.Drain,
+	}
+}
+
 // Grid compiles the scenario into a validated sweep grid (loads × one
 // fabric × clocks × seeds).
 func (s Spec) Grid() (sweep.Grid, error) {
@@ -123,6 +160,7 @@ func (s Spec) Grid() (sweep.Grid, error) {
 		Fabrics:        []sweep.Fabric{s.fabric()},
 		ClockPeriodsNS: s.ClockPeriodsNS,
 		Seeds:          s.Seeds,
+		Measure:        s.Measure(),
 	}
 	if err := g.Validate(); err != nil {
 		return sweep.Grid{}, fmt.Errorf("scenario %q: %w", s.Name, err)
@@ -185,6 +223,16 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario %q: mean gap %d is %g, want (0, 1e9]", s.Name, i, gap)
 		}
 	}
+	if m := s.Measure(); m != nil {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	for i, gap := range s.CurveGaps {
+		if gap <= 0 || gap > 1e9 || gap != gap {
+			return fmt.Errorf("scenario %q: curve gap %d is %g, want (0, 1e9]", s.Name, i, gap)
+		}
+	}
 	for _, w := range d.workloads() {
 		if err := (sweep.Grid{Workloads: []sweep.Workload{w},
 			Fabrics: []sweep.Fabric{d.fabric()}}).Validate(); err != nil {
@@ -192,6 +240,63 @@ func (s Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// DefaultCurveMeasure is the phased methodology a curve run uses when the
+// scenario declares none: a warmup window, adaptive epochs to a ±5%
+// request-latency confidence target.
+var DefaultCurveMeasure = sweep.Measure{
+	WarmupCycles: 1000,
+	EpochCycles:  2000,
+	CITarget:     0.05,
+}
+
+// Curve compiles the scenario into a load-latency curve specification:
+// the scenario's traffic template swept over CurveGaps (or the stock
+// axis) with phased measurement at every load level. Multi-valued clock
+// and seed axes collapse to their first entry — a curve is one
+// fabric/clock/seed trajectory by definition.
+func (s Spec) Curve() (sweep.CurveSpec, error) {
+	if err := s.Validate(); err != nil {
+		return sweep.CurveSpec{}, err
+	}
+	m := DefaultCurveMeasure
+	if sm := s.Measure(); sm != nil {
+		m = *sm
+	}
+	if m.EpochCycles == 0 {
+		return sweep.CurveSpec{}, fmt.Errorf("scenario %q: curve runs need epoch_cycles (open-loop levels never complete)", s.Name)
+	}
+	cs := sweep.CurveSpec{
+		Name:     s.Name,
+		Workload: s.withDefaults().workloads()[0],
+		Fabric:   s.fabric(),
+		Gaps:     s.CurveGaps,
+		Measure:  m,
+	}
+	if len(s.ClockPeriodsNS) > 0 {
+		cs.ClockPeriodNS = s.ClockPeriodsNS[0]
+	}
+	if len(s.Seeds) > 0 {
+		cs.Seed = s.Seeds[0]
+	}
+	if err := cs.Validate(); err != nil {
+		return sweep.CurveSpec{}, err
+	}
+	return cs, nil
+}
+
+// Curves compiles a scenario list into curve specifications, in order.
+func Curves(specs []Spec) ([]sweep.CurveSpec, error) {
+	out := make([]sweep.CurveSpec, len(specs))
+	for i, s := range specs {
+		cs, err := s.Curve()
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
+		}
+		out[i] = cs
+	}
+	return out, nil
 }
 
 // Points compiles a scenario list into one flat, sequentially numbered

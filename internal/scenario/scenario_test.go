@@ -175,3 +175,151 @@ func TestSpecGridRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestSpecMeasureCompilation(t *testing.T) {
+	s := Spec{
+		Name:   "phased",
+		Fabric: "amba",
+		Width:  2, Height: 2,
+		Pattern:  "uniform",
+		MeanGaps: []float64{8},
+		Count:    100,
+		Warmup:   500, EpochCycles: 1000, Epochs: 4, Drain: 200,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Measure()
+	if m == nil {
+		t.Fatal("measurement fields must compile to a sweep.Measure")
+	}
+	want := sweep.Measure{WarmupCycles: 500, EpochCycles: 1000, Epochs: 4, DrainCycles: 200}
+	if *m != want {
+		t.Fatalf("measure = %+v, want %+v", *m, want)
+	}
+	g, err := s.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Measure == nil || *g.Measure != want {
+		t.Fatalf("grid measure = %+v", g.Measure)
+	}
+	for _, p := range g.Expand() {
+		if p.Measure == nil || *p.Measure != want {
+			t.Fatalf("point measure = %+v", p.Measure)
+		}
+	}
+	// No measurement fields -> classic accounting.
+	s.Warmup, s.EpochCycles, s.Epochs, s.Drain = 0, 0, 0, 0
+	if s.Measure() != nil {
+		t.Fatal("zero measurement fields must compile to nil")
+	}
+}
+
+func TestSpecMeasureValidation(t *testing.T) {
+	base := Spec{
+		Name:   "phased",
+		Fabric: "amba",
+		Width:  2, Height: 2,
+		Pattern:  "uniform",
+		MeanGaps: []float64{8},
+		Count:    100,
+	}
+	bad := base
+	bad.CITarget = 0.05 // adaptive mode without epoch_cycles
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ci_target without epoch_cycles must be rejected")
+	}
+	bad = base
+	bad.CurveGaps = []float64{8, -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative curve gap must be rejected")
+	}
+	// Measurement fields survive the strict JSON loader.
+	src := `{"name":"p","fabric":"amba","width":2,"height":2,"pattern":"uniform",
+		"count":100,"warmup":500,"epoch_cycles":1000,"ci_target":0.05,
+		"curve_gaps":[24,12,6]}`
+	specs, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := specs[0].Measure(); m == nil || m.CITarget != 0.05 {
+		t.Fatalf("parsed measure = %+v", m)
+	}
+}
+
+func TestSpecCurveCompilation(t *testing.T) {
+	s, err := ByName("hotspot-amba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := s.Curve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Name != "hotspot-amba" || cs.Measure != DefaultCurveMeasure {
+		t.Fatalf("curve spec = %+v", cs)
+	}
+	if len(cs.Gaps) != 0 {
+		t.Fatalf("library scenario must inherit the stock gap axis, got %v", cs.Gaps)
+	}
+	s.CurveGaps = []float64{24, 6}
+	s.ClockPeriodsNS = []uint64{10, 5}
+	s.Seeds = []int64{7, 8}
+	if cs, err = s.Curve(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Gaps) != 2 || cs.ClockPeriodNS != 10 || cs.Seed != 7 {
+		t.Fatalf("curve spec axes = %+v", cs)
+	}
+	// Every library scenario must compile to a runnable curve.
+	if _, err := Curves(Library()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLibraryCurveSaturation is the acceptance gate for the load-latency
+// runner: representative library scenarios (both fabrics, mesh and torus)
+// must produce curves with a detected saturation point.
+func TestLibraryCurveSaturation(t *testing.T) {
+	names := []string{"hotspot-amba", "hotspot-mesh", "uniform-torus"}
+	var specs []Spec
+	for _, n := range names {
+		s, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Trim the light-load tail to keep the test fast; the knee sits at
+		// the heavy end of the axis.
+		s.CurveGaps = []float64{24, 8, 4, 2, 1, 0.5}
+		specs = append(specs, s)
+	}
+	css, err := Curves(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves, err := sweep.Runner{}.RunCurves(css)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if p.Err != "" {
+				t.Fatalf("%s gap %g: %s", c.Name, p.MeanGap, p.Err)
+			}
+		}
+		if c.Saturation == nil {
+			t.Errorf("%s: no saturation point detected", c.Name)
+			continue
+		}
+		sat := c.Saturation
+		if sat.Index <= 0 || sat.Index >= len(c.Points) || sat.ThroughputTPK <= 0 {
+			t.Errorf("%s: implausible saturation %+v", c.Name, sat)
+		}
+		// Latency must be higher at the saturation point than at light load.
+		if c.Points[sat.Index].LatencyMean <= c.Points[0].LatencyMean {
+			t.Errorf("%s: saturation latency %g not above zero-load %g",
+				c.Name, c.Points[sat.Index].LatencyMean, c.Points[0].LatencyMean)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegistryRegisterSnapshotReset(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	h := NewLatencyHistogram()
+	r.RegisterCounter("txns", &c)
+	r.RegisterHistogram("lat", h)
+
+	c.Add(3)
+	h.Observe(10)
+	h.Observe(20)
+
+	snap := r.Snapshot()
+	if snap.Counters["txns"] != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", snap.Counters["txns"])
+	}
+	if hs := snap.Histograms["lat"]; hs.Count != 2 || hs.Sum != 30 || hs.Max != 20 || hs.Mean != 15 {
+		t.Fatalf("snapshot histogram = %+v", hs)
+	}
+
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatal("Reset must zero every registered metric")
+	}
+	// The device-owned handles stay live after a reset.
+	c.Inc()
+	h.Observe(5)
+	if c.Value() != 1 || h.Count() != 1 {
+		t.Fatal("metric handles must survive Reset")
+	}
+}
+
+func TestRegistryScope(t *testing.T) {
+	r := NewRegistry()
+	var a, b Counter
+	r.Scope("bus").RegisterCounter("grants", &a)
+	r.Scope("master0").Scope("port").RegisterCounter("grants", &b)
+	a.Add(1)
+	b.Add(2)
+	snap := r.Snapshot()
+	if snap.Counters["bus/grants"] != 1 || snap.Counters["master0/port/grants"] != 2 {
+		t.Fatalf("scoped names wrong: %v", snap.Counters)
+	}
+	// Reset through a scoped view operates on the whole population.
+	r.Scope("bus").Reset()
+	if a.Value() != 0 || b.Value() != 0 {
+		t.Fatal("scoped Reset must reset the shared population")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	var c, d Counter
+	r.RegisterCounter("x", &c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.RegisterCounter("x", &d)
+}
+
+func TestRegistrySyncHooks(t *testing.T) {
+	r := NewRegistry()
+	var got []uint64
+	r.OnSync(func(now uint64) { got = append(got, now) })
+	r.Scope("dev").OnSync(func(now uint64) { got = append(got, now+100) })
+	r.Sync(7)
+	if len(got) != 2 || got[0] != 7 || got[1] != 107 {
+		t.Fatalf("sync hooks ran as %v", got)
+	}
+}
+
+// TestHistogramEmptySnapshot pins the empty-histogram guard: snapshot math
+// must report a zero mean, never NaN, for a histogram that observed
+// nothing — including one emptied by an epoch Reset.
+func TestHistogramEmptySnapshot(t *testing.T) {
+	h := NewLatencyHistogram()
+	snap := h.Snapshot()
+	if snap.Mean != 0 || math.IsNaN(snap.Mean) {
+		t.Fatalf("empty histogram snapshot mean = %v, want 0", snap.Mean)
+	}
+	if snap.Count != 0 || snap.Sum != 0 || snap.Max != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", snap)
+	}
+	h.Observe(42)
+	h.Reset()
+	snap = h.Snapshot()
+	if snap.Mean != 0 || math.IsNaN(snap.Mean) {
+		t.Fatalf("reset histogram snapshot mean = %v, want 0", snap.Mean)
+	}
+	if h.Mean() != 0 {
+		t.Fatalf("reset histogram mean = %v, want 0", h.Mean())
+	}
+}
+
+func TestHistogramResetKeepsBuckets(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	h.Reset()
+	bounds, counts := h.Buckets()
+	if len(bounds) != 2 || len(counts) != 3 {
+		t.Fatalf("bucket shape changed after reset: %v %v", bounds, counts)
+	}
+	for i, c := range counts {
+		if c != 0 {
+			t.Fatalf("bucket %d = %d after reset", i, c)
+		}
+	}
+	h.Observe(50)
+	if _, counts = h.Buckets(); counts[1] != 1 {
+		t.Fatal("histogram must stay usable after reset")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(10, 100)
+	b := NewHistogram(10, 100)
+	a.Observe(5)
+	a.Observe(50)
+	b.Observe(500)
+	a.Merge(b)
+	if a.Count() != 3 || a.Sum() != 555 || a.Max() != 500 {
+		t.Fatalf("merged histogram count=%d sum=%d max=%d", a.Count(), a.Sum(), a.Max())
+	}
+	_, counts := a.Buckets()
+	want := []uint64{1, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("merged counts = %v, want %v", counts, want)
+		}
+	}
+	// Merging an empty histogram into an empty one stays mean 0, not NaN.
+	c, d := NewHistogram(10), NewHistogram(10)
+	c.Merge(d)
+	if m := c.Snapshot().Mean; m != 0 || math.IsNaN(m) {
+		t.Fatalf("empty merge mean = %v", m)
+	}
+}
+
+func TestHistogramMergeBoundsMismatchPanics(t *testing.T) {
+	a := NewHistogram(10, 100)
+	b := NewHistogram(10, 200)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different bounds must panic")
+		}
+	}()
+	a.Merge(b)
+}

@@ -28,15 +28,6 @@ func (e *Engine) Snapshot() Snapshot {
 	}
 }
 
-// Snapshot returns a copy of the counter set as a plain map.
-func (c *Counters) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
-	}
-	return out
-}
-
 // HistogramSnapshot is an immutable, serialisable capture of a Histogram.
 type HistogramSnapshot struct {
 	Count  uint64   `json:"count"`

@@ -3,54 +3,16 @@ package sim
 import (
 	"fmt"
 	"sort"
-	"strings"
 )
 
-// Counters is a small named-counter set used by devices to export
-// simulation statistics (transactions issued, wait cycles, flits routed…).
-// It is not safe for concurrent use; the kernel is single-threaded.
-type Counters struct {
-	m map[string]uint64
-}
+// LatencyBounds is the canonical transaction-latency bucket set (cycles)
+// used by every latency histogram in the repository. Sharing one shape is
+// what lets per-master and per-epoch histograms merge exactly.
+var LatencyBounds = []uint64{4, 8, 16, 32, 64, 128, 256}
 
-// NewCounters returns an empty counter set.
-func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
-
-// Add increments counter name by n.
-func (c *Counters) Add(name string, n uint64) {
-	if c.m == nil {
-		c.m = make(map[string]uint64)
-	}
-	c.m[name] += n
-}
-
-// Inc increments counter name by one.
-func (c *Counters) Inc(name string) { c.Add(name, 1) }
-
-// Get returns the value of counter name (zero if never touched).
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
-
-// Names returns the counter names in sorted order.
-func (c *Counters) Names() []string {
-	names := make([]string, 0, len(c.m))
-	for k := range c.m {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// String renders the counters as "name=value" pairs in sorted order.
-func (c *Counters) String() string {
-	var b strings.Builder
-	for i, n := range c.Names() {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		fmt.Fprintf(&b, "%s=%d", n, c.m[n])
-	}
-	return b.String()
-}
+// NewLatencyHistogram builds a histogram with the canonical latency
+// buckets.
+func NewLatencyHistogram() *Histogram { return NewHistogram(LatencyBounds...) }
 
 // Histogram is a fixed-bucket latency histogram. Bucket i counts samples v
 // with bounds[i-1] <= v < bounds[i]; the last bucket is unbounded above.
@@ -105,4 +67,34 @@ func (h *Histogram) Mean() float64 {
 // the overflow bucket).
 func (h *Histogram) Buckets() (bounds []uint64, counts []uint64) {
 	return append([]uint64(nil), h.bounds...), append([]uint64(nil), h.counts...)
+}
+
+// Reset discards all observed samples, keeping the bucket bounds. The
+// stats registry calls it at measurement-epoch boundaries.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.n = 0
+	h.sum = 0
+	h.max = 0
+}
+
+// Merge folds every sample of o into h. Both histograms must share the
+// same bucket bounds (merging across shapes would misattribute counts).
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.bounds) != len(o.bounds) {
+		panic(fmt.Sprintf("sim: merging histograms with %d and %d bounds", len(h.bounds), len(o.bounds)))
+	}
+	for i, b := range h.bounds {
+		if o.bounds[i] != b {
+			panic("sim: merging histograms with different bounds")
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
 }

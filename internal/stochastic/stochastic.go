@@ -124,11 +124,22 @@ type Generator struct {
 	state    genState
 	req      ocp.Request
 	reqStart uint64
+	// assertAt is the cycle the current request was first presented,
+	// anchoring the assert-to-response ReqLatency samples.
+	assertAt uint64
 
 	halted    bool
 	haltCycle uint64
-	// Latency accumulates read response latencies for reporting.
-	Latency *sim.Histogram
+	// Latency accumulates accept-to-response read latencies for reporting;
+	// ReqLatency accumulates assert-to-response latencies (service plus
+	// source queueing — the load-latency curve metric).
+	Latency    *sim.Histogram
+	ReqLatency *sim.Histogram
+	// txns/reads count completed transactions (accepted writes + responded
+	// reads) for the ocp.TrafficMeter view phased measurement aggregates
+	// when no trace monitor wraps the port (open-loop curve runs).
+	txns  sim.Counter
+	reads sim.Counter
 }
 
 // New builds a stochastic master with the given id over port. With a
@@ -153,12 +164,13 @@ func New(id int, cfg Config, port ocp.MasterPort) *Generator {
 	}
 	cfg = cfg.withDefaults()
 	g := &Generator{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
-		port:    port,
-		id:      id,
-		sampler: sampler,
-		Latency: sim.NewHistogram(4, 8, 16, 32, 64, 128, 256),
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+		port:       port,
+		id:         id,
+		sampler:    sampler,
+		Latency:    sim.NewLatencyHistogram(),
+		ReqLatency: sim.NewLatencyHistogram(),
 	}
 	g.hinter, _ = port.(ocp.WakeHinter)
 	return g
@@ -175,6 +187,27 @@ func (g *Generator) HaltCycle() uint64 { return g.haltCycle }
 
 // Issued returns the number of transactions issued so far.
 func (g *Generator) Issued() int { return g.issued }
+
+// Transactions implements ocp.TrafficMeter: completed transactions
+// (accepted writes plus responded reads).
+func (g *Generator) Transactions() uint64 { return g.txns.Value() }
+
+// Reads implements ocp.TrafficMeter.
+func (g *Generator) Reads() uint64 { return g.reads.Value() }
+
+// LatencyHist implements ocp.TrafficMeter.
+func (g *Generator) LatencyHist() *sim.Histogram { return g.Latency }
+
+// RequestLatencyHist implements ocp.TrafficMeter.
+func (g *Generator) RequestLatencyHist() *sim.Histogram { return g.ReqLatency }
+
+// RegisterStats implements sim.StatsSource.
+func (g *Generator) RegisterStats(r *sim.Registry) {
+	r.RegisterCounter("transactions", &g.txns)
+	r.RegisterCounter("reads", &g.reads)
+	r.RegisterHistogram("latency", g.Latency)
+	r.RegisterHistogram("req_latency", g.ReqLatency)
+}
 
 // nextGap draws the next inter-transaction gap.
 func (g *Generator) nextGap() uint64 {
@@ -237,6 +270,7 @@ func (g *Generator) Tick(cycle uint64) {
 			return
 		}
 		g.req = g.nextRequest()
+		g.assertAt = cycle
 		g.state = gIssue
 		fallthrough
 	case gIssue:
@@ -246,6 +280,7 @@ func (g *Generator) Tick(cycle uint64) {
 				g.reqStart = cycle
 				g.state = gResp
 			} else {
+				g.txns.Inc()
 				g.wakeAt = cycle + g.nextGap() + 1
 				g.state = gIdle
 			}
@@ -253,6 +288,9 @@ func (g *Generator) Tick(cycle uint64) {
 	case gResp:
 		if _, ok := g.port.TakeResponse(); ok {
 			g.Latency.Observe(cycle - g.reqStart)
+			g.ReqLatency.Observe(cycle - g.assertAt)
+			g.txns.Inc()
+			g.reads.Inc()
 			g.wakeAt = cycle + g.nextGap() + 1
 			g.state = gIdle
 		}
@@ -293,5 +331,7 @@ func (g *Generator) TickWake(cycle uint64) uint64 {
 }
 
 var _ sim.Device = (*Generator)(nil)
+var _ sim.StatsSource = (*Generator)(nil)
+var _ ocp.TrafficMeter = (*Generator)(nil)
 var _ sim.Sleeper = (*Generator)(nil)
 var _ sim.TickSleeper = (*Generator)(nil)

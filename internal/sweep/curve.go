@@ -1,0 +1,357 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file implements the canonical NoC load–latency evaluation: sweep
+// the injection load of one workload/fabric pair from light to heavy,
+// measure each level with the phased warmup/epoch methodology, and report
+// the saturation point — the load at which latency departs from its
+// zero-load plateau and throughput stops scaling.
+
+// DefaultCurveGaps is the stock injection-load axis: mean
+// inter-transaction gaps from light load (gap 48) to far past saturation
+// (gap 0.5), geometrically spaced so the knee is well resolved.
+var DefaultCurveGaps = []float64{48, 32, 24, 16, 12, 8, 6, 4, 3, 2, 1.5, 1, 0.5}
+
+// curveOpenCount makes curve generators effectively open-ended: the load
+// level, not the transaction budget, ends the measurement.
+const curveOpenCount = 1 << 30
+
+// Saturation detection thresholds. A load level is saturated when any of:
+//
+//   - marginal-throughput knee: raising the offered load yields less than
+//     satMarginalFrac of the proportional throughput gain (the masters are
+//     closed-loop — one outstanding transaction each — so past the knee
+//     the accepted-throughput curve flattens onto the service-capacity
+//     asymptote instead of collapsing);
+//   - latency blow-up: the request-latency mean reaches satLatencyFactor ×
+//     the lightest level's (source queueing dominating service time);
+//   - throughput regression: accepted throughput falls as offered load
+//     rises (post-knee interference);
+//   - the level's own epoch trend showed unbounded latency growth.
+const (
+	satLatencyFactor = 3.0
+	satThroughputTol = 0.02
+	satMarginalFrac  = 0.15
+)
+
+// CurveSpec names one load–latency curve: a stochastic workload whose
+// MeanGap axis is swept over Gaps, one fabric, and the phased measurement
+// configuration applied at every load level.
+type CurveSpec struct {
+	Name string `json:"name"`
+	// Workload is the traffic template; MeanGap and Count are overridden
+	// per load level (stochastic workloads only — TG replay has a fixed
+	// recorded load).
+	Workload Workload `json:"workload"`
+	Fabric   Fabric   `json:"fabric"`
+	// ClockPeriodNS defaults to the paper's 5 ns; Seed to 1.
+	ClockPeriodNS uint64 `json:"clock_period_ns,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+	// Gaps is the load axis (mean inter-transaction gap in cycles); empty
+	// selects DefaultCurveGaps. Levels run in descending-gap (ascending
+	// load) order regardless of input order.
+	Gaps []float64 `json:"gaps,omitempty"`
+	// Measure is the per-level phased methodology; EpochCycles must be set
+	// (open-loop levels never complete, so epochs are the only windows).
+	Measure Measure `json:"measure"`
+}
+
+// withDefaults resolves the optional axes.
+func (cs CurveSpec) withDefaults() CurveSpec {
+	if cs.ClockPeriodNS == 0 {
+		cs.ClockPeriodNS = 5
+	}
+	if cs.Seed == 0 {
+		cs.Seed = 1
+	}
+	if len(cs.Gaps) == 0 {
+		cs.Gaps = DefaultCurveGaps
+	}
+	return cs
+}
+
+// Validate checks the curve specification.
+func (cs CurveSpec) Validate() error {
+	if cs.Name == "" {
+		return fmt.Errorf("sweep: curve needs a name")
+	}
+	d := cs.withDefaults()
+	if d.Workload.Kind != KindStochastic {
+		return fmt.Errorf("sweep: curve %q needs a stochastic workload (TG replay has a fixed load)", cs.Name)
+	}
+	if err := d.Workload.validate(); err != nil {
+		return fmt.Errorf("sweep: curve %q: %w", cs.Name, err)
+	}
+	if _, err := d.Fabric.interconnect(); err != nil {
+		return fmt.Errorf("sweep: curve %q: %w", cs.Name, err)
+	}
+	for i, g := range d.Gaps {
+		if g <= 0 || g > 1e9 || g != g {
+			return fmt.Errorf("sweep: curve %q: gap %d is %g, want (0, 1e9]", cs.Name, i, g)
+		}
+	}
+	if err := d.Measure.Validate(); err != nil {
+		return fmt.Errorf("sweep: curve %q: %w", cs.Name, err)
+	}
+	if d.Measure.EpochCycles == 0 {
+		return fmt.Errorf("sweep: curve %q: measure.epoch_cycles must be set (open-loop levels never complete)", cs.Name)
+	}
+	return nil
+}
+
+// CurvePoint is one measured load level.
+type CurvePoint struct {
+	// MeanGap is the level's mean inter-transaction gap; OfferedTPK the
+	// corresponding offered load in transactions per thousand cycles
+	// (cores × 1000/(gap+1), the generators' scheduling floor).
+	MeanGap    float64 `json:"mean_gap"`
+	OfferedTPK float64 `json:"offered_tpk"`
+	// ThroughputTPK is the measured steady-state throughput; LatencyMean/
+	// LatencyMax the measured assert-to-response request latency (service
+	// plus source queueing — the metric that explodes at saturation).
+	ThroughputTPK float64 `json:"throughput_tpk"`
+	LatencyMean   float64 `json:"latency_mean_cycles"`
+	LatencyMax    uint64  `json:"latency_max_cycles"`
+	Reads         uint64  `json:"reads"`
+	// Epochs is the number of measurement epochs the level ran;
+	// CIHalfWidthRel and Converged report the adaptive-stopping outcome.
+	Epochs         int     `json:"epochs"`
+	CIHalfWidthRel float64 `json:"ci_half_width_rel"`
+	Converged      bool    `json:"converged"`
+	// Saturated marks the level as past the saturation knee (set by the
+	// curve-level detector; see Curve.Saturation).
+	Saturated bool   `json:"saturated"`
+	Err       string `json:"err,omitempty"`
+}
+
+// SaturationPoint names the first saturated load level of a curve.
+type SaturationPoint struct {
+	// Index is the level's position in Points; MeanGap its gap.
+	Index   int     `json:"index"`
+	MeanGap float64 `json:"mean_gap"`
+	// ThroughputTPK is the curve's saturation throughput: the maximum
+	// measured throughput across all levels (the post-knee plateau).
+	ThroughputTPK float64 `json:"throughput_tpk"`
+}
+
+// Curve is one complete load–latency curve.
+type Curve struct {
+	Name          string       `json:"name"`
+	Workload      string       `json:"workload"`
+	Fabric        string       `json:"fabric"`
+	ClockPeriodNS uint64       `json:"clock_period_ns"`
+	Seed          int64        `json:"seed"`
+	Points        []CurvePoint `json:"points"`
+	// Saturation is the detected saturation point (nil when no level
+	// saturated — extend the load axis).
+	Saturation *SaturationPoint `json:"saturation,omitempty"`
+}
+
+// RunCurve measures one load–latency curve, parallelising the load levels
+// over the runner's worker pool.
+func (r Runner) RunCurve(spec CurveSpec) (Curve, error) {
+	curves, err := r.RunCurves([]CurveSpec{spec})
+	if err != nil {
+		return Curve{}, err
+	}
+	return curves[0], nil
+}
+
+// RunCurves measures a set of curves, parallelising every (curve, load
+// level) pair over one worker pool. Results are deterministic and ordered
+// by input spec regardless of worker count.
+func (r Runner) RunCurves(specs []CurveSpec) ([]Curve, error) {
+	resolved := make([]CurveSpec, len(specs))
+	for i, cs := range specs {
+		if err := cs.Validate(); err != nil {
+			return nil, fmt.Errorf("curve %d: %w", i, err)
+		}
+		resolved[i] = cs.withDefaults()
+		// Ascending load = descending gap; stable ordering makes the
+		// saturation scan well-defined.
+		gaps := append([]float64(nil), resolved[i].Gaps...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(gaps)))
+		resolved[i].Gaps = gaps
+	}
+
+	type level struct{ spec, gap int }
+	var levels []level
+	for si, cs := range resolved {
+		for gi := range cs.Gaps {
+			levels = append(levels, level{spec: si, gap: gi})
+		}
+	}
+	cache := &programCache{}
+	pts, err := Map(r.Workers, levels, func(_ int, l level) (CurvePoint, error) {
+		return r.runCurveLevel(cache, resolved[l.spec], resolved[l.spec].Gaps[l.gap]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	curves := make([]Curve, len(resolved))
+	k := 0
+	for si, cs := range resolved {
+		c := Curve{
+			Name:          cs.Name,
+			Workload:      cs.Workload.Label(),
+			Fabric:        cs.Fabric.Label(),
+			ClockPeriodNS: cs.ClockPeriodNS,
+			Seed:          cs.Seed,
+			Points:        pts[k : k+len(cs.Gaps) : k+len(cs.Gaps)],
+		}
+		k += len(cs.Gaps)
+		c.Saturation = detectSaturation(c.Points)
+		curves[si] = c
+	}
+	return curves, nil
+}
+
+// runCurveLevel measures one load level: the template workload at the
+// given gap, effectively unbounded transactions, phased measurement, no
+// tracing (an open-loop monitor event log would grow without bound).
+func (r Runner) runCurveLevel(cache *programCache, cs CurveSpec, gap float64) CurvePoint {
+	w := cs.Workload
+	w.MeanGap = gap
+	w.Count = curveOpenCount
+	m := cs.Measure
+	m.DrainCycles = 0 // open-loop levels have nothing to drain into
+	res := r.runPoint(cache, Point{
+		Workload:      w,
+		Fabric:        cs.Fabric,
+		ClockPeriodNS: cs.ClockPeriodNS,
+		Seed:          cs.Seed,
+		Measure:       &m,
+	}, false)
+	cp := CurvePoint{
+		MeanGap:    gap,
+		OfferedTPK: float64(w.Cores) * 1000 / (gap + 1),
+		Err:        res.Err,
+	}
+	if res.Err != "" {
+		return cp
+	}
+	cp.ThroughputTPK = res.ThroughputTPK
+	cp.Reads = res.Reads
+	if ps := res.Phases; ps != nil {
+		cp.LatencyMean = ps.ReqLatency.Mean
+		cp.LatencyMax = ps.ReqLatency.Max
+		cp.Epochs = len(ps.Epochs)
+		cp.CIHalfWidthRel = ps.CIHalfWidthRel
+		cp.Converged = ps.Converged
+		cp.Saturated = ps.Saturated
+	}
+	return cp
+}
+
+// detectSaturation marks every saturated level and returns the first one.
+// Levels are ordered by ascending load; the lightest error-free level
+// anchors the zero-load latency baseline, so one failed level degrades
+// the baseline instead of discarding the whole curve's detection.
+func detectSaturation(points []CurvePoint) *SaturationPoint {
+	baseIdx := -1
+	for i := range points {
+		if points[i].Err == "" {
+			baseIdx = i
+			break
+		}
+	}
+	if baseIdx < 0 {
+		return nil
+	}
+	base := points[baseIdx].LatencyMean
+	var maxTPK float64
+	for _, p := range points {
+		if p.Err == "" && p.ThroughputTPK > maxTPK {
+			maxTPK = p.ThroughputTPK
+		}
+	}
+	var sat *SaturationPoint
+	for i := range points {
+		p := &points[i]
+		if p.Err != "" {
+			continue
+		}
+		if i > baseIdx && base > 0 && p.LatencyMean >= satLatencyFactor*base {
+			p.Saturated = true
+		}
+		if prev := prevOK(points, i); prev != nil {
+			if p.ThroughputTPK < prev.ThroughputTPK*(1-satThroughputTol) {
+				p.Saturated = true
+			}
+			// Marginal-throughput knee: compare the relative throughput gain
+			// against the relative offered-load increase.
+			offGain := p.OfferedTPK/prev.OfferedTPK - 1
+			tpkGain := p.ThroughputTPK/prev.ThroughputTPK - 1
+			if offGain > 0 && prev.ThroughputTPK > 0 && tpkGain < satMarginalFrac*offGain {
+				p.Saturated = true
+			}
+		}
+		if p.Saturated && sat == nil {
+			sat = &SaturationPoint{Index: i, MeanGap: p.MeanGap, ThroughputTPK: maxTPK}
+		}
+	}
+	return sat
+}
+
+// prevOK returns the closest preceding error-free level, or nil.
+func prevOK(points []CurvePoint, i int) *CurvePoint {
+	for j := i - 1; j >= 0; j-- {
+		if points[j].Err == "" {
+			return &points[j]
+		}
+	}
+	return nil
+}
+
+// curveCSVHeader is the fixed column set of WriteCurvesCSV.
+var curveCSVHeader = []string{
+	"curve", "workload", "fabric", "mean_gap", "offered_tpk", "throughput_tpk",
+	"latency_mean_cycles", "latency_max_cycles", "reads", "epochs",
+	"ci_half_width_rel", "converged", "saturated", "err",
+}
+
+// WriteCurvesJSON renders curves as indented JSON with stable ordering.
+func WriteCurvesJSON(w io.Writer, curves []Curve) error {
+	return writeJSON(w, curves)
+}
+
+// WriteCurvesCSV renders every curve point as one CSV row.
+func WriteCurvesCSV(w io.Writer, curves []Curve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(curveCSVHeader); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			rec := []string{
+				c.Name,
+				c.Workload,
+				c.Fabric,
+				strconv.FormatFloat(p.MeanGap, 'g', -1, 64),
+				strconv.FormatFloat(p.OfferedTPK, 'g', -1, 64),
+				strconv.FormatFloat(p.ThroughputTPK, 'g', -1, 64),
+				strconv.FormatFloat(p.LatencyMean, 'g', -1, 64),
+				strconv.FormatUint(p.LatencyMax, 10),
+				strconv.FormatUint(p.Reads, 10),
+				strconv.Itoa(p.Epochs),
+				strconv.FormatFloat(p.CIHalfWidthRel, 'g', -1, 64),
+				strconv.FormatBool(p.Converged),
+				strconv.FormatBool(p.Saturated),
+				p.Err,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

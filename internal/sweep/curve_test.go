@@ -1,0 +1,185 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"noctg/internal/platform"
+)
+
+// goldenCurveSpec is the stock curve the golden-file harness locks: the
+// AMBA hotspot workload (the sharpest saturation knee in the library
+// corpus) over a short load ladder, adaptive epochs to a ±5% CI.
+func goldenCurveSpec() CurveSpec {
+	return CurveSpec{
+		Name: "hotspot-amba",
+		Workload: Workload{
+			Kind: KindStochastic, Dist: "poisson", Cores: 4,
+			Pattern: "hotspot", PatternW: 2, PatternH: 2,
+			Hotspot: []float64{0, 0, 0.6},
+		},
+		Fabric: Fabric{Interconnect: FabricAMBA},
+		Gaps:   []float64{24, 12, 6, 4, 3, 2},
+		Measure: Measure{
+			WarmupCycles: 1000,
+			EpochCycles:  2000,
+			CITarget:     0.05,
+		},
+	}
+}
+
+// TestGoldenCurve locks one stock load-latency curve byte-for-byte,
+// wired into the same -update flow as the other golden artifacts.
+func TestGoldenCurve(t *testing.T) {
+	c, err := Runner{}.RunCurve(goldenCurveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Points {
+		if p.Err != "" {
+			t.Fatalf("gap %g: %s", p.MeanGap, p.Err)
+		}
+	}
+	if c.Saturation == nil {
+		t.Fatal("golden curve must detect a saturation point")
+	}
+	golden(t, "curve", []Curve{c})
+}
+
+// TestKernelDifferentialCurve extends the kernel-equivalence gate over the
+// curve runner: the same curve must serialise to byte-identical JSON and
+// CSV artifacts under the strict, skip and event kernels.
+func TestKernelDifferentialCurve(t *testing.T) {
+	marshal := func(kernel platform.KernelMode) ([]byte, []byte) {
+		t.Helper()
+		curves, err := Runner{Kernel: kernel}.RunCurves([]CurveSpec{goldenCurveSpec()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var js, cs bytes.Buffer
+		if err := WriteCurvesJSON(&js, curves); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCurvesCSV(&cs, curves); err != nil {
+			t.Fatal(err)
+		}
+		return js.Bytes(), cs.Bytes()
+	}
+	wantJS, wantCS := marshal(platform.KernelStrict)
+	for _, kernel := range diffKernels()[1:] {
+		js, cs := marshal(kernel)
+		if !bytes.Equal(wantJS, js) {
+			t.Fatalf("curve JSON differs between strict and %v kernels", kernel)
+		}
+		if !bytes.Equal(wantCS, cs) {
+			t.Fatalf("curve CSV differs between strict and %v kernels", kernel)
+		}
+	}
+}
+
+// TestCurveWorkerDeterminism pins the sweep package's core contract for
+// the new runner: curve artifacts are byte-identical for any worker count.
+func TestCurveWorkerDeterminism(t *testing.T) {
+	run := func(workers int) []byte {
+		t.Helper()
+		curves, err := Runner{Workers: workers}.RunCurves([]CurveSpec{goldenCurveSpec()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCurvesJSON(&buf, curves); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(1), run(4)) {
+		t.Fatal("curve artifacts depend on worker count")
+	}
+}
+
+func TestCurveSpecValidate(t *testing.T) {
+	ok := goldenCurveSpec()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*CurveSpec)
+	}{
+		{"missing name", func(cs *CurveSpec) { cs.Name = "" }},
+		{"tg workload", func(cs *CurveSpec) {
+			cs.Workload = Workload{Kind: KindTG, Bench: "mpmatrix", Cores: 2, Size: 8}
+		}},
+		{"bad gap", func(cs *CurveSpec) { cs.Gaps = []float64{4, 0} }},
+		{"bad fabric", func(cs *CurveSpec) { cs.Fabric.Interconnect = "warp" }},
+		{"no epoch length", func(cs *CurveSpec) { cs.Measure = Measure{Epochs: 1} }},
+		{"bad measure", func(cs *CurveSpec) { cs.Measure.CITarget = 2 }},
+	}
+	for _, c := range cases {
+		cs := goldenCurveSpec()
+		c.mutate(&cs)
+		if err := cs.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestDetectSaturation exercises the knee detector on synthetic curves.
+func TestDetectSaturation(t *testing.T) {
+	mk := func(offered, tpk, lat []float64) []CurvePoint {
+		pts := make([]CurvePoint, len(offered))
+		for i := range pts {
+			pts[i] = CurvePoint{OfferedTPK: offered[i], ThroughputTPK: tpk[i], LatencyMean: lat[i]}
+		}
+		return pts
+	}
+
+	// Throughput plateau: the marginal criterion fires at the flat tail.
+	pts := mk(
+		[]float64{100, 200, 400, 800, 1600},
+		[]float64{95, 180, 300, 330, 333},
+		[]float64{5, 5.5, 7, 9, 10},
+	)
+	sat := detectSaturation(pts)
+	if sat == nil || sat.Index != 3 {
+		t.Fatalf("plateau knee: %+v", sat)
+	}
+	if sat.ThroughputTPK != 333 {
+		t.Fatalf("saturation throughput = %g, want the plateau maximum", sat.ThroughputTPK)
+	}
+	if pts[2].Saturated || !pts[3].Saturated || !pts[4].Saturated {
+		t.Fatalf("saturated flags: %+v", pts)
+	}
+
+	// Latency blow-up fires even while throughput still creeps upward.
+	pts = mk(
+		[]float64{100, 200, 400},
+		[]float64{95, 180, 340},
+		[]float64{5, 8, 20},
+	)
+	if sat = detectSaturation(pts); sat == nil || sat.Index != 2 {
+		t.Fatalf("latency knee: %+v", sat)
+	}
+
+	// An unsaturated curve reports nothing.
+	pts = mk(
+		[]float64{100, 200, 400},
+		[]float64{95, 185, 360},
+		[]float64{5, 5.2, 5.5},
+	)
+	if sat = detectSaturation(pts); sat != nil {
+		t.Fatalf("unsaturated curve flagged: %+v", sat)
+	}
+
+	// A failed lightest level degrades the baseline to the next error-free
+	// level instead of discarding the whole curve's detection.
+	pts = mk(
+		[]float64{100, 200, 400, 800},
+		[]float64{0, 180, 340, 350},
+		[]float64{0, 8, 26, 30},
+	)
+	pts[0].Err = "panic: boom"
+	if sat = detectSaturation(pts); sat == nil || sat.Index != 2 {
+		t.Fatalf("leading-error baseline: %+v", sat)
+	}
+}

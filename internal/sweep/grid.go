@@ -257,6 +257,9 @@ type Grid struct {
 	// are deterministic, so they run once per seed only if several seeds
 	// are listed — keep one seed for TG-only grids.
 	Seeds []int64 `json:"seeds,omitempty"`
+	// Measure switches every point to the phased warmup/measure/drain
+	// methodology (nil keeps the legacy whole-run accounting).
+	Measure *Measure `json:"measure,omitempty"`
 }
 
 // Point is one fully-specified grid configuration.
@@ -266,6 +269,9 @@ type Point struct {
 	Fabric        Fabric   `json:"fabric"`
 	ClockPeriodNS uint64   `json:"clock_period_ns"`
 	Seed          int64    `json:"seed"`
+	// Measure enables phased measurement for this point (nil = legacy
+	// whole-run accounting).
+	Measure *Measure `json:"measure,omitempty"`
 }
 
 // Label identifies the point in reports.
@@ -292,7 +298,7 @@ func (g Grid) Expand() []Point {
 				for _, s := range seeds {
 					pts = append(pts, Point{
 						ID: len(pts), Workload: w, Fabric: f,
-						ClockPeriodNS: c, Seed: s,
+						ClockPeriodNS: c, Seed: s, Measure: g.Measure,
 					})
 				}
 			}
@@ -323,6 +329,11 @@ func (g Grid) Validate() error {
 	for i, c := range g.ClockPeriodsNS {
 		if c == 0 {
 			return fmt.Errorf("sweep: clock period %d is zero; omit the axis for the 5 ns default", i)
+		}
+	}
+	if g.Measure != nil {
+		if err := g.Measure.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -10,9 +10,14 @@ import (
 // WriteJSON renders the result set as indented JSON. Field order and float
 // formatting are fixed, so identical results serialise to identical bytes.
 func WriteJSON(w io.Writer, results []Result) error {
+	return writeJSON(w, results)
+}
+
+// writeJSON is the shared indented encoder behind every JSON artifact.
+func writeJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	return enc.Encode(v)
 }
 
 // csvHeader is the fixed column set of WriteCSV.

@@ -44,6 +44,11 @@ type Result struct {
 	// BusBusyCycles counts occupied bus cycles (zero on ×pipes).
 	FlitsRouted   uint64 `json:"flits_routed"`
 	BusBusyCycles uint64 `json:"bus_busy_cycles"`
+
+	// Phases carries the phased-measurement breakdown (warmup/measure/
+	// drain windows and per-epoch statistics); nil on legacy runs, so
+	// phases-off artifacts are byte-identical to the pre-phase format.
+	Phases *PhaseStats `json:"phases,omitempty"`
 }
 
 // Runner executes grid points over a bounded worker pool.
@@ -144,10 +149,15 @@ func (r Runner) Run(points []Point) ([]Result, error) {
 		if p.ClockPeriodNS == 0 {
 			return nil, fmt.Errorf("sweep: point %d: zero clock period", p.ID)
 		}
+		if p.Measure != nil {
+			if err := p.Measure.Validate(); err != nil {
+				return nil, fmt.Errorf("sweep: point %d: %w", p.ID, err)
+			}
+		}
 	}
 	cache := &programCache{}
 	return Map(r.Workers, points, func(_ int, p Point) (Result, error) {
-		return r.runPoint(cache, p), nil
+		return r.runPoint(cache, p, true), nil
 	})
 }
 
@@ -161,7 +171,10 @@ func (r Runner) RunGrid(g Grid) ([]Result, error) {
 
 // runPoint executes one configuration on its own engine. A panicking model
 // is recorded as that point's failure rather than aborting the sweep.
-func (r Runner) runPoint(cache *programCache, p Point) (res Result) {
+// trace enables the per-port OCP monitors; open-loop curve points disable
+// them (their event logs would grow without bound) and meter traffic at
+// the generators instead.
+func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			res.Err = fmt.Sprintf("panic: %v", rec)
@@ -190,7 +203,7 @@ func (r Runner) runPoint(cache *programCache, p Point) (res Result) {
 		},
 		MemWaitStates: p.Fabric.MemWaitStates,
 		Clock:         sim.Clock{PeriodNS: p.ClockPeriodNS},
-		Trace:         true,
+		Trace:         trace,
 		Kernel:        kernel,
 	}
 
@@ -236,6 +249,13 @@ func (r Runner) runPoint(cache *programCache, p Point) (res Result) {
 		maxCycles = r.MaxCycles
 	}
 
+	if p.Measure != nil {
+		if err := runPhased(sys, *p.Measure, maxCycles, &res); err != nil {
+			res.Err = err.Error()
+		}
+		return res
+	}
+
 	makespan, err := sys.Run(maxCycles)
 	if err != nil {
 		res.Err = err.Error()
@@ -245,7 +265,7 @@ func (r Runner) runPoint(cache *programCache, p Point) (res Result) {
 	res.MakespanNS = sys.Engine.Clock().NS(makespan)
 	res.Engine = sys.Engine.Snapshot()
 
-	hist := sim.NewHistogram(4, 8, 16, 32, 64, 128, 256)
+	hist := sim.NewLatencyHistogram()
 	for _, mon := range sys.Monitors {
 		for _, e := range mon.Events() {
 			res.Transactions++

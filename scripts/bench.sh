@@ -23,7 +23,7 @@ mkdir -p bench
 # quotes. Time-based benchtime gives each entry enough iterations for a
 # stable ns/op, and three repetitions let benchdiff compare min-of-runs
 # (the noise-robust statistic); the CI compare gate depends on both.
-smoke_pattern='EngineTick|EngineSkipIdle|EngineEvent|TransactionPath'
+smoke_pattern='EngineTick|EngineSkipIdle|EngineEvent|TransactionPath|PhasedMeasure'
 smoke_benchtime='300ms'
 smoke_count=3
 
