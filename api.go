@@ -276,6 +276,8 @@ var (
 var (
 	// PrivBaseFor returns core i's private memory base.
 	PrivBaseFor = layout.PrivBaseFor
+	// PrivRange returns core i's private memory range.
+	PrivRange = layout.PrivRange
 	// SharedRange returns the shared memory range.
 	SharedRange = layout.SharedRange
 	// SemRange returns the hardware semaphore bank range.

@@ -29,6 +29,7 @@ import (
 	"noctg/internal/amba"
 	"noctg/internal/core"
 	"noctg/internal/exp"
+	"noctg/internal/noc"
 	"noctg/internal/ocp"
 	"noctg/internal/platform"
 	"noctg/internal/prog"
@@ -907,6 +908,88 @@ func BenchmarkEngineEventHotspot(b *testing.B) {
 				b.Fatal(err)
 			}
 			benchMixedLoad(b, sys, span)
+		})
+	}
+}
+
+// --- sharded execution ---
+
+// newShardScalingSystem builds the shard-scaling workload: a 16×16 mesh
+// whose 96 stochastic masters (rows 0–5) run the scenario library's
+// hotspot pattern against the slave rows at the top — a weighted slice of
+// all traffic converges on one private memory, the remainder spreads
+// uniformly. Every transaction crosses the band boundaries, so the
+// benchmark measures the windowed protocol with real cut traffic, not an
+// embarrassingly parallel split. The traffic is pure request-response
+// (reads): a posted-write mix has unbounded queue-depth tails — the
+// in-flight maximum creeps forever and no alloc-free steady state exists —
+// while blocking reads hard-bound the live state at two packets per
+// master, so a short warmup visits every high-water mark.
+func newShardScalingSystem(tb testing.TB, shards int) *platform.System {
+	tb.Helper()
+	const cores = 96 // the memory map tops out below 112 private ranges
+	dests := make([]ocp.AddrRange, cores)
+	for d := range dests {
+		dests[d] = noctg.PrivRange(d)
+	}
+	weights := make([]float64, cores)
+	weights[cores/2] = 0.03 // ~3× the uniform share, under the slave's 0.5 pkt/cycle ceiling
+	scfg := stochastic.Config{
+		Dist:         stochastic.Poisson,
+		MeanGap:      8, // ~0.11 offered txn/cycle per master — load past the 0.1 mark
+		ReadFraction: 1,
+		Count:        1 << 30,
+		Seed:         7,
+		Spatial: &stochastic.Spatial{
+			Pattern:        stochastic.Hotspot,
+			W:              12,
+			H:              8,
+			Dests:          dests,
+			HotspotWeights: weights,
+		},
+	}
+	sys, err := platform.Build(platform.Config{
+		Cores:        cores,
+		Interconnect: platform.XPipes,
+		NoC:          noc.Config{Width: 16, Height: 16},
+		Kernel:       platform.KernelEvent,
+		Shards:       shards,
+	}, func(_ *platform.System, id int, port ocp.MasterPort) platform.Master {
+		return stochastic.New(id, scfg, port)
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkShardScaling measures the sharded runner's throughput at 1, 2
+// and 4 shards on the 16×16 hotspot scenario. The simulated results are
+// byte-identical across the variants (the shard-determinism gates pin
+// that); only wall time may differ, and the N-shard/1-shard Msimcycles/s
+// ratio is the parallel speedup on the host. Steady state allocates
+// nothing (ReportAllocs must show 0). Only the 1shard variant belongs to
+// the CI smoke gate: multi-shard ns/op scales with the runner's core
+// count, which benchdiff's single-threaded normalization probe cannot
+// cancel.
+func BenchmarkShardScaling(b *testing.B) {
+	const span = 10_000
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%dshard", shards), func(b *testing.B) {
+			sys := newShardScalingSystem(b, shards)
+			// Warm up past the transients: packet pools, slave queues and
+			// flit buffers all grow to their (structurally bounded)
+			// high-water marks before the measured windows run alloc-free.
+			sys.Sharded.Advance(5 * span)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sys.Sharded.Advance(span) != span {
+					b.Fatal("hotspot workload finished mid-benchmark")
+				}
+			}
+			b.StopTimer()
+			reportSimSpeed(b, span)
 		})
 	}
 }

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	tgsweep [-workers N] [-grid FILE|default] [-out BASE|-] [-maxcycles N]
-//	        [-kernel auto|strict|skip] [-cpuprofile FILE] [-memprofile FILE]
+//	        [-kernel auto|strict|skip] [-shards N]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //	tgsweep -scenario FILE|library # run declarative traffic scenarios
 //	tgsweep -scenario FILE|library -curve # load-latency curves per scenario
 //	tgsweep -print-scenarios       # dump the scenario library as a template
@@ -38,7 +39,16 @@
 // "skip" fast-forwards only over cycles in which every device sleeps, and
 // "strict" ticks every device every cycle. All three produce byte-identical
 // artifacts; strict exists for cross-checking and for timing experiments
-// that must not benefit from kernel tricks. -cpuprofile/-memprofile write
+// that must not benefit from kernel tricks.
+//
+// -shards N > 0 runs every ×pipes simulation sharded across N engine
+// goroutines (conservative time-window synchronisation, see internal/shard),
+// overriding any per-scenario shards setting. Artifacts are byte-identical
+// for every N >= 1 — the CI shard-determinism matrix pins this — though
+// sharded runs form their own determinism class versus the legacy
+// single-engine path (-shards absent or 0). AMBA points ignore the setting.
+//
+// -cpuprofile/-memprofile write
 // pprof profiles of the sweep (shared flag wiring with tgrepro via
 // internal/prof) so performance work needs no code edits.
 package main
@@ -70,12 +80,14 @@ func main() {
 		paper      = flag.Bool("paper", false, "run the paper's experiments as one parallel invocation")
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes for -paper: quick or default")
 		kernelFlag = flag.String("kernel", "auto", "simulation kernel: auto (event for replay), strict, skip or event")
+		shards     = flag.Int("shards", 0, "shard every ×pipes simulation across N engine goroutines (0 = legacy single engine)")
 	)
 	profiles := prof.Register()
 	flag.Parse()
 
 	kernel, err := platform.ParseKernel(*kernelFlag)
 	fail(err)
+	fail(sweep.ValidateShards(*shards))
 
 	// Profiles are written on the success path only: fail() exits the
 	// process without running defers.
@@ -93,7 +105,7 @@ func main() {
 		return
 	}
 	if *paper {
-		runPaper(*sizesFlag, *workers, kernel)
+		runPaper(*sizesFlag, *workers, kernel, *shards)
 		return
 	}
 
@@ -109,7 +121,7 @@ func main() {
 			fail(err)
 		}
 		if *curve {
-			runCurves(specs, *workers, *maxCycles, *out, kernel)
+			runCurves(specs, *workers, *maxCycles, *out, kernel, *shards)
 			return
 		}
 		var err error
@@ -133,7 +145,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "tgsweep: %d configurations, %d workers\n", len(points), *workers)
 
 	start := time.Now()
-	results, err := sweep.Runner{Workers: *workers, MaxCycles: *maxCycles, Kernel: kernel}.Run(points)
+	results, err := sweep.Runner{Workers: *workers, MaxCycles: *maxCycles, Kernel: kernel, Shards: *shards}.Run(points)
 	fail(err)
 	wall := time.Since(start)
 
@@ -163,7 +175,7 @@ func main() {
 
 // runCurves sweeps each scenario's injection load and writes load-latency
 // curve artifacts (<out>.json / <out>.csv, or JSON on stdout with "-").
-func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string, kernel platform.KernelMode) {
+func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string, kernel platform.KernelMode, shards int) {
 	css, err := scenario.Curves(specs)
 	fail(err)
 	levels := 0
@@ -175,7 +187,7 @@ func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string,
 	}
 	fmt.Fprintf(os.Stderr, "tgsweep: %d curves (%d load levels), %d workers\n", len(css), levels, workers)
 	start := time.Now()
-	curves, err := sweep.Runner{Workers: workers, MaxCycles: maxCycles, Kernel: kernel}.RunCurves(css)
+	curves, err := sweep.Runner{Workers: workers, MaxCycles: maxCycles, Kernel: kernel, Shards: shards}.RunCurves(css)
 	fail(err)
 	sat := 0
 	for _, c := range curves {
@@ -205,8 +217,10 @@ func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string,
 
 // runPaper executes the whole evaluation in parallel and prints the same
 // reports as the sequential tgrepro harness. The kernel selection applies
-// to TG-replay runs only; ARM reference runs always tick strictly.
-func runPaper(sizesFlag string, workers int, kernel platform.KernelMode) {
+// to TG-replay runs only; ARM reference runs always tick strictly. The
+// shard count likewise reaches only ×pipes TG-replay platforms (AMBA and
+// reference builds ignore it).
+func runPaper(sizesFlag string, workers int, kernel platform.KernelMode, shards int) {
 	sizes := exp.DefaultSizes()
 	if sizesFlag == "quick" {
 		sizes = exp.QuickSizes()
@@ -216,6 +230,7 @@ func runPaper(sizesFlag string, workers int, kernel platform.KernelMode) {
 	}
 	opt := exp.DefaultOptions()
 	opt.Platform.Kernel = kernel
+	opt.Platform.Shards = shards
 	start := time.Now()
 	res, err := sweep.RunPaper(sizes, opt, workers)
 	fail(err)

@@ -92,6 +92,20 @@
 // Speedup-fidelity, in short: kernel tricks accelerate the reproduction,
 // but never the baseline the paper's claims are calibrated against.
 //
+// The three kernels pick which devices to tick; the sharded run mode
+// (PlatformConfig.Shards, tgsweep -shards, internal/shard) additionally
+// picks where: the ×pipes fabric is partitioned into contiguous row
+// bands, each band's routers, masters and slaves advance on their own
+// engine goroutine under the chosen kernel, and the shards synchronise
+// with conservative time windows bounded by the same NextWake promise the
+// kernels rely on. Cross-shard flits move through preallocated cut-link
+// rings at window boundaries with uncut-link timing, so any shard count —
+// including one — computes byte-identical artifacts under every kernel
+// (the CI shard-determinism matrix pins shards {1,2,4,8} × kernels
+// {strict,skip,event}). Sharded runs form their own determinism class
+// versus the legacy single-engine path (Shards=0), which remains
+// byte-unchanged from before sharding existed.
+//
 // # Phased measurement
 //
 // Every platform carries a unified stats registry (StatsRegistry): devices

@@ -22,6 +22,13 @@ const (
 type masterNI struct {
 	net  *Network
 	node int
+	// st is the pool/stats domain charged for this NI's packets (the
+	// network's own, or its region's after Partition); now is the cycle
+	// source (the shard engine's after Partition + BindCycleSource); rg is
+	// the owning region, nil on an unpartitioned network.
+	st  *shardState
+	now func() uint64
+	rg  *Region
 
 	state    masterNIState
 	req      ocp.Request
@@ -58,24 +65,25 @@ func (m *masterNI) TryRequest(req *ocp.Request) bool {
 			panic(fmt.Sprintf("noc: master at node %d issued invalid request: %v", m.node, err))
 		}
 		// A new injection (or the locally synthesised error response below)
-		// ends a network sleep: put the network back into the event
-		// kernel's tick set before any state changes land.
-		m.net.wakeUp()
+		// ends a fabric sleep: put the network (or this NI's shard region)
+		// back into the event kernel's tick set before any state changes
+		// land.
+		m.wakeUp()
 		m.req = *req
-		m.reqStart = m.net.now()
+		m.reqStart = m.now()
 		dst := m.net.decode(req.Addr)
 		if dst == nil {
 			// No slave: synthesise an error response locally.
 			m.state = niInjected
-			m.net.decodeErrors.Inc()
+			m.st.decodeErrors.Inc()
 			if req.Cmd.IsRead() {
 				m.resp = ocp.Response{Err: true}
-				m.respAt = m.net.now() + m.net.cfg.RespCycles
+				m.respAt = m.now() + m.net.cfg.RespCycles
 				m.hasResp = true
 			}
 			return false
 		}
-		pkt := m.net.getPacket()
+		pkt := m.st.getPacket()
 		pkt.src, pkt.dst = m.node, dst.node
 		pkt.req = m.req
 		if len(m.req.Data) > 0 {
@@ -106,12 +114,12 @@ func (m *masterNI) TryRequest(req *ocp.Request) bool {
 // by NI-owned storage that the next transaction reuses (see the
 // ocp.MasterPort contract).
 func (m *masterNI) TakeResponse() (*ocp.Response, bool) {
-	if !m.hasResp || m.net.now() < m.respAt {
+	if !m.hasResp || m.now() < m.respAt {
 		return nil, false
 	}
 	m.hasResp = false
 	m.busyRead = false
-	m.lat.Observe(m.net.now() - m.reqStart)
+	m.lat.Observe(m.now() - m.reqStart)
 	return &m.resp, true
 }
 
@@ -137,6 +145,16 @@ func (m *masterNI) WakeHint(now uint64) uint64 {
 
 var _ ocp.WakeHinter = (*masterNI)(nil)
 
+// wakeUp ends a fabric sleep at this NI's node: the owning region's on a
+// partitioned network, the network's otherwise.
+func (m *masterNI) wakeUp() {
+	if m.rg != nil {
+		m.rg.Wake()
+		return
+	}
+	m.net.wakeUp()
+}
+
 // tick injects up to one flit of the pending request packet per cycle.
 func (m *masterNI) tick(cycle uint64) {
 	if m.state != niInjecting {
@@ -148,6 +166,7 @@ func (m *masterNI) tick(cycle uint64) {
 		return
 	}
 	q.push(flit{pkt: m.pkt, idx: m.nextFlit, arrived: cycle})
+	m.st.residentFlits++
 	m.nextFlit++
 	if m.nextFlit == m.pkt.length {
 		m.pkt = nil // the network owns the packet from here on
@@ -170,7 +189,7 @@ func (m *masterNI) acceptFlit(fl flit, cycle uint64) {
 		m.respAt = cycle + m.net.cfg.RespCycles
 		m.hasResp = true
 		m.rxFlits = 0
-		m.net.putPacket(fl.pkt)
+		m.st.putPacket(fl.pkt)
 	}
 }
 
@@ -190,6 +209,9 @@ type slaveNI struct {
 	node  int
 	slave ocp.Slave
 	rng   ocp.AddrRange
+	// st is the pool/stats domain charged for this NI's packets (the
+	// network's own, or its region's after Partition).
+	st *shardState
 
 	// queue holds fully received packets waiting for service; qhead indexes
 	// the next one so the backing array is reused instead of re-sliced away.
@@ -222,6 +244,7 @@ func (s *slaveNI) tick(cycle uint64) {
 		q := &r.in[portL][vcResp]
 		if q.len() < s.net.cfg.BufferFlits {
 			q.push(flit{pkt: s.out, idx: s.nextFlit, arrived: cycle})
+			s.st.residentFlits++
 			s.nextFlit++
 			if s.nextFlit == s.out.length {
 				s.out = nil
@@ -237,11 +260,11 @@ func (s *slaveNI) tick(cycle uint64) {
 			// Serve read data straight into the response packet's own
 			// buffer; it stays valid until the master NI copies it out and
 			// recycles the packet.
-			out := s.net.getPacket()
+			out := s.st.getPacket()
 			var resp ocp.Response
 			resp, out.dataBuf = ocp.PerformBuffered(s.slave, &s.current.req, out.dataBuf)
 			if resp.Err {
-				s.net.slaveErrors.Inc()
+				s.st.slaveErrors.Inc()
 			}
 			out.src, out.dst = s.node, s.current.src
 			out.isResp = true
@@ -253,10 +276,10 @@ func (s *slaveNI) tick(cycle uint64) {
 			var resp ocp.Response
 			resp, s.scratch = ocp.PerformBuffered(s.slave, &s.current.req, s.scratch)
 			if resp.Err {
-				s.net.slaveErrors.Inc()
+				s.st.slaveErrors.Inc()
 			}
 		}
-		s.net.putPacket(s.current)
+		s.st.putPacket(s.current)
 		s.current = nil
 	}
 	if s.current == nil && s.qhead < len(s.queue) {
@@ -265,6 +288,14 @@ func (s *slaveNI) tick(cycle uint64) {
 		s.qhead++
 		if s.qhead == len(s.queue) {
 			s.queue = s.queue[:0]
+			s.qhead = 0
+		} else if s.qhead >= 32 && 2*s.qhead >= len(s.queue) {
+			// Slide the backlog down while the queue is busy: without this
+			// a long busy period grows the backing array with every accepted
+			// packet even though the depth itself is bounded.
+			n := copy(s.queue, s.queue[s.qhead:])
+			clear(s.queue[n:])
+			s.queue = s.queue[:n]
 			s.qhead = 0
 		}
 		s.doneAt = cycle + 1 + s.slave.AccessCycles(&s.current.req)

@@ -164,6 +164,14 @@ type packet struct {
 	// flit), feeding the per-hop histogram at retirement.
 	hops    int
 	dataBuf []uint32
+	// home is the pool domain the packet was allocated from. A packet can
+	// retire in a different shard (a posted write's request retires at the
+	// slave, with no response packet to carry the struct back), so
+	// retirement routes foreign packets onto the home region's return list
+	// instead of the local pool — otherwise the master region's pool
+	// starves (allocating per write forever) while the slave region's pool
+	// grows without bound.
+	home *shardState
 }
 
 func (p *packet) vc() int {
@@ -192,9 +200,19 @@ type fifo struct {
 	buf  []flit
 	head int
 	n    int
+
+	// poppedN counts pops during cycle poppedAt. Sharded mode uses the pair
+	// to reconstruct a FIFO's cycle-start occupancy (len + pops this cycle),
+	// which makes downstream-space checks independent of router tick order —
+	// the property that lets a cut link behave exactly like a local one.
+	poppedN  int
+	poppedAt uint64
 }
 
-func (f *fifo) init(capacity int) { f.buf = make([]flit, capacity) }
+func (f *fifo) init(capacity int) {
+	f.buf = make([]flit, capacity)
+	f.poppedAt = ^uint64(0)
+}
 
 func (f *fifo) push(fl flit) {
 	if f.n == len(f.buf) {
@@ -238,6 +256,16 @@ type router struct {
 	rrVC  [numPorts]int
 	rrIn  [numPorts][numVC]int
 	local localSink // attached NI, or nil
+
+	// st is the pool/stats domain this router charges: the network's own in
+	// the single-engine configuration, its region's after Partition.
+	st *shardState
+	// cut[dir] is non-nil when output dir crosses a shard boundary (flits
+	// leave through the link's export ring); inCut[port] is non-nil when
+	// input port is fed from another shard (pops are credited back to the
+	// exporter through the link's counters).
+	cut   [numPorts]*cutLink
+	inCut [numPorts]*cutLink
 }
 
 // localSink is the NI side of a router's local port.
@@ -329,26 +357,49 @@ func (r *router) outVC(in, vc, o int) int {
 }
 
 // downstreamSpace reports whether output dir of this router can accept a
-// flit on vc this cycle.
-func (r *router) downstreamSpace(dir, vc int) bool {
+// flit on vc this cycle. In sharded mode the check is conservative: it uses
+// the downstream FIFO's occupancy as of the start of the cycle (current
+// length plus pops made this cycle, or the exporter's credit view over a
+// cut link), so the answer never depends on which routers happened to tick
+// first — the invariant that makes every partition of the fabric compute
+// the same flit movements.
+func (r *router) downstreamSpace(dir, vc int, cycle uint64) bool {
 	if dir == portL {
 		return r.local != nil // NIs always sink delivered flits
 	}
+	if cl := r.cut[dir]; cl != nil {
+		return cl.pushed[vc]-cl.credit[vc] < uint64(r.n.cfg.BufferFlits)
+	}
 	nb := r.n.neighbor(r.id, dir)
-	return nb.in[opposite(dir)][vc].len() < r.n.cfg.BufferFlits
+	q := &nb.in[opposite(dir)][vc]
+	occ := q.len()
+	if r.n.sharded && q.poppedAt == cycle {
+		occ += q.poppedN
+	}
+	return occ < r.n.cfg.BufferFlits
 }
 
 // deliver moves a flit out of output dir.
 func (r *router) deliver(dir, vc int, fl flit, cycle uint64) {
 	if dir == portL {
 		r.local.acceptFlit(fl, cycle)
+		r.st.residentFlits--
 		return
 	}
-	nb := r.n.neighbor(r.id, dir)
 	if fl.head() {
 		fl.pkt.hops++
 	}
 	fl.arrived = cycle
+	if cl := r.cut[dir]; cl != nil {
+		// Cross-shard hop: park the flit in the link's export ring. The
+		// importing shard moves it into the destination FIFO at the window
+		// boundary, stamped with the same arrival cycle a local push would
+		// have used, so timing is identical to an uncut link.
+		cl.push(vc, fl)
+		r.st.residentFlits--
+		return
+	}
+	nb := r.n.neighbor(r.id, dir)
 	nb.in[opposite(dir)][vc].push(fl)
 }
 
@@ -360,8 +411,8 @@ func (r *router) tick(cycle uint64) {
 			vc := (r.rrVC[o] + k) % numVC
 			if r.tryForward(o, vc, cycle) {
 				r.rrVC[o] = (vc + 1) % numVC
-				r.n.flitsRouted++
-				r.n.flitsVC[vc].Inc()
+				r.st.flitsRouted++
+				r.st.flitsVC[vc].Inc()
 				break
 			}
 		}
@@ -410,10 +461,19 @@ func (r *router) tryForward(o, ovc int, cycle uint64) bool {
 	if fl.arrived >= cycle { // one hop per cycle
 		return false
 	}
-	if !r.downstreamSpace(o, ovc) {
+	if !r.downstreamSpace(o, ovc, cycle) {
 		return false
 	}
 	moved := q.pop()
+	if r.n.sharded {
+		if q.poppedAt != cycle {
+			q.poppedAt, q.poppedN = cycle, 0
+		}
+		q.poppedN++
+		if cl := r.inCut[a.in]; cl != nil {
+			cl.popped[a.invc]++
+		}
+	}
 	if moved.tail() {
 		r.alloc[o][ovc] = hold{in: -1}
 	}
@@ -421,25 +481,34 @@ func (r *router) tryForward(o, ovc int, cycle uint64) bool {
 	return true
 }
 
-// Network is the mesh fabric. It implements sim.Device and must be ticked
-// after all masters each cycle.
-type Network struct {
-	cfg     Config
-	now     func() uint64
-	routers []*router
-	masters []*masterNI
-	slaves  []*slaveNI
-
-	// pktPool recycles packet structs (and their payload buffers); the
-	// engine is single-goroutine per network, so no locking is needed.
+// shardState is the pool/stats domain of one execution shard. The
+// unsharded network owns exactly one (Network.st); Partition gives every
+// Region its own, so each shard's hot path touches only shard-local
+// memory and the canonical metrics are recovered by a deterministic fold
+// (foldRegionStats) at registry sync points.
+type shardState struct {
+	// pktPool recycles packet structs (and their payload buffers); each
+	// shard's engine is single-goroutine, so no locking is needed.
 	// livePackets counts packets currently out of the pool — the cheap
-	// quiescence signal NextWake uses every cycle.
+	// quiescence signal the unsharded NextWake uses every cycle. (A packet
+	// can retire in a different shard than it was issued from, so sharded
+	// quiescence uses residentFlits + NI idleness per region instead.)
 	pktPool     []*packet
 	livePackets int
-
-	// waker is the engine's wake handle (sim.WakeSink); nil when the
-	// network is driven outside an engine.
-	waker sim.Waker
+	// index is the owning region's position in the partition (0 for the
+	// unsharded base state); returns[i] collects packets that retired here
+	// but were allocated by region i, appended during this shard's compute
+	// step and drained into region i's pool during region i's Exchange.
+	// The two phases are globally barrier-separated, so each slot has one
+	// writer (the retiring shard, computing) and one reader (the home
+	// shard, exchanging) and never both at once. Nil when unsharded: the
+	// single pool makes every retirement local.
+	index   int
+	returns [][]*packet
+	// residentFlits counts flits currently held in this domain's router
+	// FIFOs: incremented on NI injection and cross-shard import,
+	// decremented on local delivery and cross-shard export.
+	residentFlits int
 
 	// Stats — sim.Counter/sim.Histogram handles registered with the
 	// platform's stats registry (RegisterStats), so phased measurement can
@@ -454,17 +523,51 @@ type Network struct {
 	slaveErrors  sim.Counter
 }
 
+// newHopsHistogram keeps base and per-region hop histograms on identical
+// bucket bounds so the region copies can merge into the canonical one.
+func newHopsHistogram() *sim.Histogram {
+	return sim.NewHistogram(1, 2, 3, 4, 6, 8, 12, 16)
+}
+
+// Network is the mesh fabric. It implements sim.Device and must be ticked
+// after all masters each cycle.
+type Network struct {
+	cfg     Config
+	now     func() uint64
+	routers []*router
+	masters []*masterNI
+	slaves  []*slaveNI
+
+	// st is the network's own pool/stats domain — the only one until
+	// Partition carves the fabric into regions.
+	st shardState
+
+	// sharded is set by Partition. It switches the routers to
+	// cycle-start-occupancy flow control, the conservative discipline under
+	// which flit movement is independent of router tick order and therefore
+	// of the shard count (see downstreamSpace).
+	sharded bool
+	// regions are the spatial shards after Partition (nil otherwise);
+	// regionOfRow maps a mesh row to its region index.
+	regions     []*Region
+	regionOfRow []int
+
+	// waker is the engine's wake handle (sim.WakeSink); nil when the
+	// network is driven outside an engine.
+	waker sim.Waker
+}
+
 // New builds a Width×Height mesh or torus. now supplies the current engine
 // cycle.
 func New(cfg Config, now func() uint64) *Network {
 	if now == nil {
 		panic("noc: New requires a cycle source")
 	}
-	n := &Network{cfg: cfg.WithDefaults(), now: now,
-		hops: sim.NewHistogram(1, 2, 3, 4, 6, 8, 12, 16)}
+	n := &Network{cfg: cfg.WithDefaults(), now: now}
+	n.st.hops = newHopsHistogram()
 	total := n.cfg.Width * n.cfg.Height
 	for id := 0; id < total; id++ {
-		r := &router{n: n, id: id, x: id % n.cfg.Width, y: id / n.cfg.Width}
+		r := &router{n: n, id: id, x: id % n.cfg.Width, y: id / n.cfg.Width, st: &n.st}
 		for o := 0; o < numPorts; o++ {
 			for v := 0; v < numVC; v++ {
 				r.alloc[o][v] = hold{in: -1}
@@ -476,26 +579,57 @@ func New(cfg Config, now func() uint64) *Network {
 	return n
 }
 
-// getPacket takes a packet from the pool (or allocates the pool's first few).
-func (n *Network) getPacket() *packet {
-	n.livePackets++
-	if last := len(n.pktPool) - 1; last >= 0 {
-		p := n.pktPool[last]
-		n.pktPool = n.pktPool[:last]
-		return p
+// packetBatch is the pool refill quantum and packetBufWords the payload
+// capacity stocked per packet. A dry pool restocks a whole slab at once:
+// the in-flight packet count's running maximum creeps (slowly, forever —
+// queue-depth tails are unbounded), and per-packet refills would turn
+// every +1 of that maximum into an allocation. Slab refills amortise the
+// creep to one allocation per packetBatch, so steady state actually
+// reaches an allocation-free plateau. Payload buffers beyond
+// packetBufWords grow per packet on first use and then stick.
+const (
+	packetBatch    = 64
+	packetBufWords = 8
+)
+
+// getPacket takes a packet from the pool, restocking it by the slab when
+// dry. Pool invariant: st.pktPool holds only packets with home == st
+// (foreign retirements go onto the return lists and drain into their home
+// pool), so a pooled packet's home never needs refreshing.
+func (st *shardState) getPacket() *packet {
+	st.livePackets++
+	if len(st.pktPool) == 0 {
+		slab := make([]packet, packetBatch)
+		words := make([]uint32, packetBatch*packetBufWords)
+		for i := range slab {
+			slab[i].home = st
+			slab[i].dataBuf = words[i*packetBufWords : i*packetBufWords : (i+1)*packetBufWords]
+			st.pktPool = append(st.pktPool, &slab[i])
+		}
 	}
-	return &packet{}
+	last := len(st.pktPool) - 1
+	p := st.pktPool[last]
+	st.pktPool = st.pktPool[:last]
+	return p
 }
 
-// putPacket returns a dead packet to the pool, keeping its payload buffer.
-// Retirement is where the packet's hop count is final, so the per-hop
-// breakdown is observed here.
-func (n *Network) putPacket(p *packet) {
-	n.livePackets--
-	n.hops.Observe(uint64(p.hops))
+// putPacket retires a dead packet, keeping its payload buffer. Retirement
+// is where the packet's hop count is final, so the per-hop breakdown is
+// observed here (by the retiring shard's histogram; the fold makes the
+// merged view identical for every partition). A packet that retires away
+// from its home region parks on the local return list until the home
+// region's next Exchange.
+func (st *shardState) putPacket(p *packet) {
+	st.livePackets--
+	st.hops.Observe(uint64(p.hops))
 	buf := p.dataBuf
-	*p = packet{dataBuf: buf[:0]}
-	n.pktPool = append(n.pktPool, p)
+	home := p.home
+	*p = packet{dataBuf: buf[:0], home: home}
+	if home != st {
+		st.returns[home.index] = append(st.returns[home.index], p)
+		return
+	}
+	st.pktPool = append(st.pktPool, p)
 }
 
 // Config returns the effective configuration.
@@ -507,14 +641,34 @@ func (n *Network) Nodes() int { return len(n.routers) }
 // Topology returns the fabric's link structure.
 func (n *Network) Topology() Topology { return n.cfg.Topology }
 
-// FlitsRouted returns the total number of link traversals.
-func (n *Network) FlitsRouted() uint64 { return n.flitsRouted.Value() }
+// FlitsRouted returns the total number of link traversals. With regions it
+// folds the shard-local tallies on the fly, so the value is identical for
+// every shard count at any quiescent read point.
+func (n *Network) FlitsRouted() uint64 {
+	v := n.st.flitsRouted.Value()
+	for _, rg := range n.regions {
+		v += rg.st.flitsRouted.Value()
+	}
+	return v
+}
 
 // DecodeErrors returns the number of requests that decoded to no slave.
-func (n *Network) DecodeErrors() uint64 { return n.decodeErrors.Value() }
+func (n *Network) DecodeErrors() uint64 {
+	v := n.st.decodeErrors.Value()
+	for _, rg := range n.regions {
+		v += rg.st.decodeErrors.Value()
+	}
+	return v
+}
 
 // SlaveErrors returns the number of error responses from attached slaves.
-func (n *Network) SlaveErrors() uint64 { return n.slaveErrors.Value() }
+func (n *Network) SlaveErrors() uint64 {
+	v := n.st.slaveErrors.Value()
+	for _, rg := range n.regions {
+		v += rg.st.slaveErrors.Value()
+	}
+	return v
+}
 
 // vcNames labels the virtual channels in flit-counter metric names.
 var vcNames = [numVC]string{vcReq: "req", vcResp: "resp", vcReqDL: "req_dl", vcRespDL: "resp_dl"}
@@ -524,15 +678,43 @@ var vcNames = [numVC]string{vcReq: "req", vcResp: "resp", vcReqDL: "req_dl", vcR
 // master NI's latency histogram join the registry. Call after all NIs are
 // attached (registration captures metric addresses).
 func (n *Network) RegisterStats(r *sim.Registry) {
-	r.RegisterCounter("flits_routed", &n.flitsRouted)
-	for vc := range n.flitsVC {
-		r.RegisterCounter("flits/"+vcNames[vc], &n.flitsVC[vc])
+	r.RegisterCounter("flits_routed", &n.st.flitsRouted)
+	for vc := range n.st.flitsVC {
+		r.RegisterCounter("flits/"+vcNames[vc], &n.st.flitsVC[vc])
 	}
-	r.RegisterHistogram("hops", n.hops)
-	r.RegisterCounter("decode_errors", &n.decodeErrors)
-	r.RegisterCounter("slave_errors", &n.slaveErrors)
+	r.RegisterHistogram("hops", n.st.hops)
+	r.RegisterCounter("decode_errors", &n.st.decodeErrors)
+	r.RegisterCounter("slave_errors", &n.st.slaveErrors)
 	for _, m := range n.masters {
 		r.RegisterHistogram(fmt.Sprintf("ni%d/latency", m.node), m.lat)
+	}
+	if n.regions != nil {
+		// Only the canonical metrics above are registered, whatever the
+		// shard count; the per-region tallies fold into them at every
+		// registry sync point (always before Snapshot/Reset), so epoch
+		// counters and histograms serialise identically for 1..N shards.
+		r.OnSync(func(uint64) { n.foldRegionStats() })
+	}
+}
+
+// foldRegionStats drains every region's shard-local counters and
+// histograms into the canonical network metrics. Regions are visited in
+// index order and counter addition commutes, so the fold is deterministic.
+// Callers must be quiescent (no shard workers running).
+func (n *Network) foldRegionStats() {
+	for _, rg := range n.regions {
+		n.st.flitsRouted.Add(rg.st.flitsRouted.Value())
+		rg.st.flitsRouted.Reset()
+		for vc := range rg.st.flitsVC {
+			n.st.flitsVC[vc].Add(rg.st.flitsVC[vc].Value())
+			rg.st.flitsVC[vc].Reset()
+		}
+		n.st.hops.Merge(rg.st.hops)
+		rg.st.hops.Reset()
+		n.st.decodeErrors.Add(rg.st.decodeErrors.Value())
+		rg.st.decodeErrors.Reset()
+		n.st.slaveErrors.Add(rg.st.slaveErrors.Value())
+		rg.st.slaveErrors.Reset()
 	}
 }
 
@@ -564,7 +746,8 @@ func (n *Network) neighbor(id, dir int) *router {
 // returns its OCP port. Each node holds at most one NI.
 func (n *Network) AttachMaster(node int) ocp.MasterPort {
 	n.checkNode(node)
-	ni := &masterNI{net: n, node: node, lat: sim.NewLatencyHistogram()}
+	ni := &masterNI{net: n, node: node, st: &n.st, now: n.now, lat: sim.NewLatencyHistogram(),
+		respData: make([]uint32, 0, packetBufWords)}
 	n.routers[node].local = ni
 	n.masters = append(n.masters, ni)
 	return ni
@@ -578,7 +761,11 @@ func (n *Network) AttachSlave(node int, slave ocp.Slave, rng ocp.AddrRange) erro
 			return fmt.Errorf("noc: range %v overlaps existing %v", rng, s.rng)
 		}
 	}
-	ni := &slaveNI{net: n, node: node, slave: slave, rng: rng}
+	// The queue starts with a generous capacity so the slice-doubling
+	// growth toward a workload's high-water depth is front-loaded into
+	// construction instead of trickling through the measured run.
+	ni := &slaveNI{net: n, node: node, st: &n.st, slave: slave, rng: rng,
+		queue: make([]*packet, 0, 64)}
 	n.routers[node].local = ni
 	n.slaves = append(n.slaves, ni)
 	return nil
@@ -652,7 +839,7 @@ func (n *Network) nisIdle() bool {
 // while other devices run. Every in-network flit belongs to a live pooled
 // packet, so livePackets == 0 makes the full router scan unnecessary.
 func (n *Network) NextWake(now uint64) uint64 {
-	if n.livePackets == 0 && n.nisIdle() {
+	if n.st.livePackets == 0 && n.nisIdle() {
 		return sim.WakeNever
 	}
 	return now

@@ -177,8 +177,8 @@ func TestTorusHeavyCrossTrafficAllDelivered(t *testing.T) {
 			t.Fatalf("write %#x lost: got %#x want %#x", w.addr, got, w.val)
 		}
 	}
-	if n.livePackets != 0 {
-		t.Fatalf("%d packets leaked from the pool", n.livePackets)
+	if n.st.livePackets != 0 {
+		t.Fatalf("%d packets leaked from the pool", n.st.livePackets)
 	}
 	if n.NextWake(e.Cycle()) != sim.WakeNever {
 		t.Fatal("drained torus must report WakeNever")

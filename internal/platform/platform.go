@@ -18,6 +18,7 @@ import (
 	"noctg/internal/mem"
 	"noctg/internal/noc"
 	"noctg/internal/ocp"
+	"noctg/internal/shard"
 	"noctg/internal/sim"
 )
 
@@ -143,6 +144,15 @@ type Config struct {
 	// simulated state (the differential tests assert byte-identical sweep
 	// artifacts), differing only in host time.
 	Kernel KernelMode
+	// Shards > 0 partitions an XPipes fabric into that many spatial shards
+	// (clamped to the mesh height), each running on its own engine and OS
+	// thread under the conservative time-window protocol (see internal/
+	// shard). Sharded runs form their own determinism class: every shard
+	// count — including 1 — computes byte-identical simulated state, but
+	// the class differs from the legacy single-engine run (0), whose
+	// flow-control check is tick-order dependent. The bus fabric has no
+	// spatial structure to cut; AMBA platforms ignore the knob.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +177,12 @@ type System struct {
 
 	Bus *amba.Bus    // set when Interconnect == AMBA
 	Net *noc.Network // set when Interconnect == XPipes
+
+	// Sharded is the parallel runner driving the per-shard engines when
+	// Cfg.Shards > 0 on an XPipes platform; nil otherwise. When set,
+	// Engine aliases shard 0's engine (all shard engines share the clock
+	// and agree on the cycle between segments).
+	Sharded *shard.Runner
 
 	// Stats is the system's unified stats registry: every stats-exporting
 	// device (masters, trace monitors, the fabric) registers its counters
@@ -199,6 +215,10 @@ func Build(cfg Config, factory MasterFactory) (*System, error) {
 	}
 
 	ports := make([]ocp.MasterPort, cfg.Cores)
+	// Sharded XPipes builds replace the single engine with one per region;
+	// regions/shardEngines stay nil on every other path.
+	var regions []*noc.Region
+	var shardEngines []*sim.Engine
 	switch cfg.Interconnect {
 	case AMBA:
 		bus := amba.New(cfg.Bus, e.Cycle)
@@ -264,26 +284,60 @@ func Build(cfg Config, factory MasterFactory) (*System, error) {
 		}
 		s.Net = net
 		s.fabric = net
+		if cfg.Shards > 0 {
+			// Partition after every NI is attached and before anything
+			// ticks; the partition also switches the fabric to the
+			// conservative sharded flow-control discipline.
+			regions = net.Partition(cfg.Shards)
+			shardEngines = make([]*sim.Engine, len(regions))
+			for si := range regions {
+				se := sim.NewEngine(cfg.Clock)
+				se.SetKernel(cfg.Kernel.kernel(sim.KernelStrict))
+				shardEngines[si] = se
+			}
+		}
 	default:
 		return nil, fmt.Errorf("platform: unknown interconnect %v", cfg.Interconnect)
 	}
 
+	// shardOf maps master i to its region's engine: masters occupy fabric
+	// nodes 0..Cores-1 in id order (the placement loop above).
+	shardOf := func(i int) int {
+		if shardEngines == nil {
+			return 0
+		}
+		return s.Net.RegionOf(i)
+	}
+	shardMasters := make([][]Master, len(regions))
 	for i := 0; i < cfg.Cores; i++ {
+		eng := e
+		if shardEngines != nil {
+			eng = shardEngines[shardOf(i)]
+		}
 		port := ports[i]
 		var mon *ocp.Monitor
 		if cfg.Trace {
-			mon = ocp.NewMonitor(port, e.Cycle)
+			mon = ocp.NewMonitor(port, eng.Cycle)
 			port = mon
 		}
 		s.Monitors = append(s.Monitors, mon)
 		m := factory(s, i, port)
 		s.Masters = append(s.Masters, m)
-		e.Add(m)
+		eng.Add(m)
+		if shardEngines != nil {
+			shardMasters[shardOf(i)] = append(shardMasters[shardOf(i)], m)
+		}
 	}
-	// Fabric ticks after all masters (see DESIGN.md tick order).
+	// Fabric ticks after all masters (see DESIGN.md tick order); in a
+	// sharded build each region is its engine's fabric device.
 	switch {
 	case s.Bus != nil:
 		e.Add(s.Bus)
+	case shardEngines != nil:
+		for si, rg := range regions {
+			rg.BindCycleSource(shardEngines[si].Cycle)
+			shardEngines[si].Add(rg)
+		}
 	case s.Net != nil:
 		e.Add(s.Net)
 	}
@@ -305,6 +359,26 @@ func Build(cfg Config, factory MasterFactory) (*System, error) {
 		s.Bus.RegisterStats(s.Stats.Scope("bus"))
 	case s.Net != nil:
 		s.Net.RegisterStats(s.Stats.Scope("noc"))
+	}
+	if shardEngines != nil {
+		shards := make([]*shard.Shard, len(regions))
+		for si, rg := range regions {
+			rg, ms := rg, shardMasters[si]
+			shards[si] = &shard.Shard{
+				Engine:    shardEngines[si],
+				Exchanger: rg,
+				Done: func() bool {
+					for _, m := range ms {
+						if !m.Done() {
+							return false
+						}
+					}
+					return rg.Idle()
+				},
+			}
+		}
+		s.Sharded = shard.New(shards)
+		s.Engine = shardEngines[0]
 	}
 	return s, nil
 }
@@ -339,6 +413,12 @@ func (s *System) Done() bool {
 // makespan comes from the masters' halt cycles and is unaffected by the
 // detection stride.
 func (s *System) Run(maxCycles uint64) (uint64, error) {
+	if s.Sharded != nil {
+		if err := s.Sharded.Run(maxCycles); err != nil {
+			return s.Sharded.Cycle(), fmt.Errorf("platform(%s): %w", s.Cfg.Interconnect, err)
+		}
+		return s.Makespan(), nil
+	}
 	_, err := s.Engine.RunEvery(maxCycles, 32, func() bool {
 		return s.Done() && s.fabric.Idle()
 	})
@@ -358,6 +438,13 @@ func (s *System) Run(maxCycles uint64) (uint64, error) {
 func (s *System) RunPhased(p sim.Phases, maxCycles uint64) (sim.PhasedResult, error) {
 	if p.Stride == 0 {
 		p.Stride = 32
+	}
+	if s.Sharded != nil {
+		res, err := s.Sharded.RunPhased(p, maxCycles)
+		if err != nil {
+			return res, fmt.Errorf("platform(%s): %w", s.Cfg.Interconnect, err)
+		}
+		return res, nil
 	}
 	res, err := s.Engine.RunPhased(p, maxCycles, func() bool {
 		return s.Done() && s.fabric.Idle()
@@ -384,6 +471,20 @@ func (s *System) Makespan() uint64 {
 		last = s.Engine.Cycle()
 	}
 	return last
+}
+
+// EngineSnapshot captures the run's engine state for result artifacts. On
+// a sharded platform the per-engine device count depends on the partition
+// (each engine holds its own region and masters), so the snapshot reports
+// the canonical masters+fabric count instead — the same value a
+// single-engine build registers — keeping artifacts byte-identical across
+// shard counts.
+func (s *System) EngineSnapshot() sim.Snapshot {
+	snap := s.Engine.Snapshot()
+	if s.Sharded != nil {
+		snap.Devices = len(s.Masters) + 1
+	}
+	return snap
 }
 
 // Peek reads a word from whichever memory maps addr (test/validation hook).

@@ -67,6 +67,12 @@ type Spec struct {
 	ClockPeriodsNS []uint64 `json:"clock_periods_ns,omitempty"`
 	Seeds          []int64  `json:"seeds,omitempty"`
 
+	// Shards > 0 runs every ×pipes point of this scenario sharded across
+	// that many engine goroutines (see sweep.Grid.Shards). Results are
+	// identical for every count >= 1; a runner-level override (-shards)
+	// takes precedence.
+	Shards int `json:"shards,omitempty"`
+
 	// Measurement methodology (all optional; zero values keep the classic
 	// whole-run accounting). Warmup discards the lead-in transient,
 	// EpochCycles/Epochs split measurement into fixed epochs, CITarget
@@ -161,6 +167,7 @@ func (s Spec) Grid() (sweep.Grid, error) {
 		ClockPeriodsNS: s.ClockPeriodsNS,
 		Seeds:          s.Seeds,
 		Measure:        s.Measure(),
+		Shards:         s.Shards,
 	}
 	if err := g.Validate(); err != nil {
 		return sweep.Grid{}, fmt.Errorf("scenario %q: %w", s.Name, err)
@@ -232,6 +239,9 @@ func (s Spec) Validate() error {
 		if gap <= 0 || gap > 1e9 || gap != gap {
 			return fmt.Errorf("scenario %q: curve gap %d is %g, want (0, 1e9]", s.Name, i, gap)
 		}
+	}
+	if err := sweep.ValidateShards(s.Shards); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	for _, w := range d.workloads() {
 		if err := (sweep.Grid{Workloads: []sweep.Workload{w},

@@ -1,0 +1,367 @@
+// Package shard runs one simulation across multiple OS threads by spatial
+// decomposition: the platform is partitioned into shards (a contiguous
+// fabric region plus the masters attached to it), each shard advances on
+// its own sim.Engine/goroutine, and the shards synchronise with
+// conservative time windows.
+//
+// The protocol is SPMD. Every shard executes the same round loop over the
+// same shared, barrier-published data (per-shard horizons and completion
+// flags), so every shard computes identical window bounds and identical
+// stop decisions without a coordinator:
+//
+//	round:  W  = min over shards of the published wake horizon
+//	        T  = min(max(W, c+1), segment target)
+//	        RunTo(T)            — compute, exporting cut flits into rings
+//	        barrier
+//	        Exchange + publish  — import rings, refresh credits, publish
+//	                              horizon and local completion at T
+//	        barrier
+//
+// Whenever any shard is active in the current cycle its horizon equals the
+// current cycle, every window degenerates to a single cycle, and boundary
+// exchange delivers each crossing flit exactly one cycle after it was
+// pushed — the same timing an uncut link provides under the fabric's
+// conservative flow control. Multi-cycle windows only ever span globally
+// quiescent stretches, which carry no cross-shard traffic at all. Together
+// with the fabric's cycle-start-occupancy discipline (see internal/noc)
+// this makes the simulated state a pure function of the partition-invariant
+// round schedule: any shard count, including one, computes byte-identical
+// results. The sweep harness and CI pin exactly that equivalence.
+//
+// Completion is likewise decided on shared data only: each shard publishes
+// its local predicate at every boundary, and a round starts by checking the
+// conjunction, so all shards stop on the same cycle for any shard count and
+// any host schedule.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"noctg/internal/sim"
+)
+
+// Exchanger is one shard's window-boundary hook: Exchange imports the
+// flits other shards exported during the closing window (returning how
+// many), and Wake re-arms the shard's fabric device in its engine's
+// schedule after an import. noc.Region implements it.
+type Exchanger interface {
+	Exchange() int
+	Wake()
+}
+
+// Shard is one unit of parallelism: an engine holding the shard's devices,
+// the boundary exchanger, and the shard-local completion predicate (all
+// local masters done and the local region drained). Done must read only
+// shard-local state — it is evaluated concurrently with other shards'
+// predicates.
+type Shard struct {
+	Engine    *sim.Engine
+	Exchanger Exchanger
+	Done      func() bool
+}
+
+// slot is one shard's barrier-published state. Slots are padded apart so
+// the per-round horizon stores of neighbouring shards do not false-share a
+// cache line.
+type slot struct {
+	horizon uint64 // engine wake horizon as of the last boundary
+	done    bool   // local completion as of the last boundary
+	sense   uint32 // this shard's private barrier sense
+	_       [48]byte
+}
+
+// poisonBox carries the first panic out of a worker so every participant —
+// and the caller — can re-raise it instead of deadlocking at a barrier.
+type poisonBox struct{ v any }
+
+// Runner synchronises a set of shards. All methods must be called from a
+// single goroutine (the platform's run loop); the Runner spawns and joins
+// one worker goroutine per extra shard for each segment it executes.
+type Runner struct {
+	shards []*Shard
+	wins   []*sim.WindowedRun
+	slots  []slot
+	wg     sync.WaitGroup
+
+	// workers[i] drives shard i+1 through one segment, reading the bound
+	// from target. The closures are built once in New: spawning a niladic
+	// func value allocates nothing, so steady-state segments stay off the
+	// heap entirely. target is a plain field — it is written before the
+	// spawns and the goroutine start/join edges order it.
+	workers []func()
+	target  uint64
+
+	count  atomic.Int32
+	sense  atomic.Uint32
+	poison atomic.Pointer[poisonBox]
+}
+
+// New builds a runner over the shards. The shards' engines must be fully
+// populated: New opens a persistent windowed session (sim.BeginWindowed)
+// on each one, which snapshots the device set.
+func New(shards []*Shard) *Runner {
+	if len(shards) == 0 {
+		panic("shard: New with no shards")
+	}
+	r := &Runner{
+		shards: shards,
+		wins:   make([]*sim.WindowedRun, len(shards)),
+		slots:  make([]slot, len(shards)),
+	}
+	for i, sh := range shards {
+		r.wins[i] = sh.Engine.BeginWindowed()
+	}
+	r.workers = make([]func(), len(shards)-1)
+	for i := range r.workers {
+		s := i + 1
+		r.workers[i] = func() { r.segWorker(s) }
+	}
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Runner) Shards() int { return len(r.shards) }
+
+// Cycle returns the common cycle all shards have advanced to. Valid
+// between segments (all engines agree there).
+func (r *Runner) Cycle() uint64 { return r.shards[0].Engine.Cycle() }
+
+// barrierSpin bounds the busy-wait before yielding the thread. On hosts
+// with fewer cores than shards a waiting spinner may be occupying the very
+// CPU the straggler needs, so the barrier must always fall back to the
+// scheduler.
+const barrierSpin = 128
+
+// await is a sense-reversing barrier across all shards. The atomic
+// count/sense pair orders every write made before the barrier ahead of
+// every read after it, which is the only synchronisation the cut-link
+// rings and credit counters need. A poisoned runner (a panicking peer)
+// re-raises inside the wait so no shard spins forever.
+func (r *Runner) await(s int) {
+	ns := r.slots[s].sense ^ 1
+	r.slots[s].sense = ns
+	if int(r.count.Add(1)) == len(r.shards) {
+		r.count.Store(0)
+		r.sense.Store(ns)
+		return
+	}
+	for spin := 0; r.sense.Load() != ns; spin++ {
+		if p := r.poison.Load(); p != nil {
+			panic(p.v)
+		}
+		if spin > barrierSpin {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (r *Runner) poisonWith(v any) {
+	r.poison.CompareAndSwap(nil, &poisonBox{v: v})
+}
+
+// allDone reports the published global completion predicate. Every shard
+// evaluates it over the same barrier-published flags, so all reach the
+// same verdict in the same round.
+func (r *Runner) allDone() bool {
+	for i := range r.slots {
+		if !r.slots[i].done {
+			return false
+		}
+	}
+	return true
+}
+
+// minHorizon is the conservative global window bound: no shard acts — and
+// in particular exports nothing — before it.
+func (r *Runner) minHorizon() uint64 {
+	w := r.slots[0].horizon
+	for i := 1; i < len(r.slots); i++ {
+		if h := r.slots[i].horizon; h < w {
+			w = h
+		}
+	}
+	return w
+}
+
+// shardLoop is the SPMD body every shard runs for one segment: publish the
+// entry state, then rounds of compute / exchange until the shared stop
+// condition (global completion or the segment target) fires — identically
+// on every shard.
+func (r *Runner) shardLoop(s int, target uint64) {
+	sh := r.shards[s]
+	win := r.wins[s]
+	sl := &r.slots[s]
+	c := sh.Engine.Cycle()
+	sl.horizon = win.NextWake()
+	sl.done = sh.Done()
+	r.await(s)
+	for {
+		if r.allDone() || c >= target {
+			return
+		}
+		t := c + 1
+		if w := r.minHorizon(); w > t {
+			t = w
+		}
+		if t > target {
+			t = target
+		}
+		win.RunTo(t)
+		r.await(s)
+		if sh.Exchanger != nil && sh.Exchanger.Exchange() > 0 {
+			sh.Exchanger.Wake()
+		}
+		sl.horizon = win.NextWake()
+		sl.done = sh.Done()
+		r.await(s)
+		c = t
+	}
+}
+
+// segWorker drives one non-caller shard through a segment, converting a
+// device panic into runner poison instead of killing the process.
+func (r *Runner) segWorker(s int) {
+	defer r.segDone()
+	r.shardLoop(s, r.target)
+}
+
+func (r *Runner) segDone() {
+	if v := recover(); v != nil {
+		r.poisonWith(v)
+	}
+	r.wg.Done()
+}
+
+// runShard0 runs the caller's shard, poisoning the runner before unwinding
+// a panic so the workers drain out of their barriers and can be joined.
+func (r *Runner) runShard0(target uint64) {
+	defer func() {
+		if v := recover(); v != nil {
+			r.poisonWith(v)
+			r.wg.Wait()
+			panic(v)
+		}
+	}()
+	r.shardLoop(0, target)
+}
+
+// runSegment advances all shards from their common cycle by at most window
+// cycles, stopping early when the global completion predicate holds at a
+// boundary. It returns the executed cycle count and the predicate's final
+// value. Goroutines are spawned per segment and fully joined before it
+// returns; a previously poisoned runner re-raises immediately.
+func (r *Runner) runSegment(window uint64) (uint64, bool) {
+	if p := r.poison.Load(); p != nil {
+		panic(p.v)
+	}
+	start := r.shards[0].Engine.Cycle()
+	target := start + window
+	r.target = target
+	for _, w := range r.workers {
+		r.wg.Add(1)
+		go w()
+	}
+	r.runShard0(target)
+	r.wg.Wait()
+	return r.shards[0].Engine.Cycle() - start, r.allDone()
+}
+
+// Run simulates until the completion predicate holds or maxCycles elapse,
+// mirroring sim.Engine.RunEvery's contract (completion is checked at every
+// window boundary; the error wraps sim.ErrMaxCycles on budget exhaustion).
+func (r *Runner) Run(maxCycles uint64) error {
+	if _, done := r.runSegment(maxCycles); !done {
+		return fmt.Errorf("%w (%d cycles)", sim.ErrMaxCycles, maxCycles)
+	}
+	return nil
+}
+
+// Advance runs at most cycles cycles without regard for completion (the
+// segment still stops early if the workload finishes) and returns the
+// executed count. It is the benchmarking hook: steady state allocates
+// nothing, so throughput measurements see only the simulation itself.
+func (r *Runner) Advance(cycles uint64) uint64 {
+	n, _ := r.runSegment(cycles)
+	return n
+}
+
+// RunPhased executes the warmup → measure → drain methodology across the
+// shards with sim.RunPhased's exact semantics: maxCycles budgets warmup
+// plus measurement, Drain has its own budget, truncation of the
+// measurement plan is an error wrapping sim.ErrMaxCycles, an incomplete
+// drain is not. Phases.Stride is ignored — the sharded completion check
+// runs at every window boundary.
+func (r *Runner) RunPhased(p sim.Phases, maxCycles uint64) (sim.PhasedResult, error) {
+	var res sim.PhasedResult
+	remaining := maxCycles
+
+	if p.Warmup > 0 {
+		win := min(p.Warmup, remaining)
+		n, done := r.runSegment(win)
+		res.WarmupCycles = n
+		remaining -= n
+		if done {
+			res.Completed = true
+			res.CompletedIn = sim.PhaseWarmup
+		} else if win < p.Warmup {
+			return res, fmt.Errorf("shard: phased warmup truncated: %w (%d cycles)", sim.ErrMaxCycles, maxCycles)
+		}
+	}
+	if p.AfterWarmup != nil {
+		p.AfterWarmup(r.Cycle())
+	}
+	if res.Completed {
+		return res, nil
+	}
+
+	maxEpochs := p.MaxEpochs
+	if maxEpochs <= 0 && p.Epoch == 0 {
+		maxEpochs = 1
+	}
+	for epoch := 0; maxEpochs <= 0 || epoch < maxEpochs; epoch++ {
+		if remaining == 0 {
+			return res, fmt.Errorf("shard: phased measurement truncated after %d epochs: %w (%d cycles)",
+				res.Epochs, sim.ErrMaxCycles, maxCycles)
+		}
+		win := remaining
+		if p.Epoch > 0 && p.Epoch < win {
+			win = p.Epoch
+		}
+		start := r.Cycle()
+		n, finished := r.runSegment(win)
+		remaining -= n
+		res.MeasureCycles += n
+		res.Epochs++
+		more := true
+		if p.AfterEpoch != nil {
+			more = p.AfterEpoch(epoch, start, r.Cycle())
+		}
+		if finished {
+			res.Completed = true
+			res.CompletedIn = sim.PhaseMeasure
+			return res, nil
+		}
+		if !more {
+			break
+		}
+		if p.Epoch == 0 || win < p.Epoch {
+			// An exhausted open epoch, or an epoch the budget cut short with
+			// more epochs wanted: the measurement plan was truncated.
+			return res, fmt.Errorf("shard: phased measurement truncated after %d epochs: %w (%d cycles)",
+				res.Epochs, sim.ErrMaxCycles, maxCycles)
+		}
+	}
+
+	if p.Drain > 0 {
+		n, finished := r.runSegment(p.Drain)
+		res.DrainCycles = n
+		if finished {
+			res.Completed = true
+			res.CompletedIn = sim.PhaseDrain
+		}
+	}
+	return res, nil
+}

@@ -124,6 +124,11 @@ type Generator struct {
 	state    genState
 	req      ocp.Request
 	reqStart uint64
+	// wbuf is the reusable one-word write payload. Both fabrics copy the
+	// payload into their own storage at accept (the ocp.MasterPort
+	// contract), and nextRequest only runs after the previous request was
+	// accepted, so one scratch word keeps the issue path allocation-free.
+	wbuf [1]uint32
 	// assertAt is the cycle the current request was first presented,
 	// anchoring the assert-to-response ReqLatency samples.
 	assertAt uint64
@@ -250,8 +255,9 @@ func (g *Generator) nextRequest() ocp.Request {
 	if g.rng.Float64() < g.cfg.ReadFraction {
 		return ocp.Request{Cmd: ocp.Read, Addr: addr, Burst: 1, MasterID: g.id}
 	}
+	g.wbuf[0] = g.rng.Uint32()
 	return ocp.Request{Cmd: ocp.Write, Addr: addr, Burst: 1,
-		Data: []uint32{g.rng.Uint32()}, MasterID: g.id}
+		Data: g.wbuf[:], MasterID: g.id}
 }
 
 // Tick implements sim.Device.

@@ -260,6 +260,11 @@ type Grid struct {
 	// Measure switches every point to the phased warmup/measure/drain
 	// methodology (nil keeps the legacy whole-run accounting).
 	Measure *Measure `json:"measure,omitempty"`
+	// Shards > 0 runs every ×pipes point sharded across that many engines
+	// (see platform.Config.Shards); AMBA points ignore it. Sharded results
+	// are identical for every shard count >= 1 but form their own
+	// determinism class versus the legacy single-engine run (0).
+	Shards int `json:"shards,omitempty"`
 }
 
 // Point is one fully-specified grid configuration.
@@ -272,6 +277,10 @@ type Point struct {
 	// Measure enables phased measurement for this point (nil = legacy
 	// whole-run accounting).
 	Measure *Measure `json:"measure,omitempty"`
+	// Shards is the point's parallel-execution setting (see Grid.Shards).
+	// Execution-only: results never record it, and artifacts are
+	// byte-identical across shard counts >= 1.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Label identifies the point in reports.
@@ -299,6 +308,7 @@ func (g Grid) Expand() []Point {
 					pts = append(pts, Point{
 						ID: len(pts), Workload: w, Fabric: f,
 						ClockPeriodNS: c, Seed: s, Measure: g.Measure,
+						Shards: g.Shards,
 					})
 				}
 			}
@@ -335,6 +345,22 @@ func (g Grid) Validate() error {
 		if err := g.Measure.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := ValidateShards(g.Shards); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MaxShards bounds the shard axis so a hostile grid file cannot demand
+// thousands of goroutines per point. The fabric additionally clamps the
+// effective count to its mesh height.
+const MaxShards = 64
+
+// ValidateShards checks a shards setting (grid, point or runner override).
+func ValidateShards(shards int) error {
+	if shards < 0 || shards > MaxShards {
+		return fmt.Errorf("sweep: shards %d outside [0, %d]", shards, MaxShards)
 	}
 	return nil
 }

@@ -332,7 +332,7 @@ func runPhased(sys *platform.System, m Measure, maxCycles uint64, res *Result) e
 	ps.ReqLatency = tot.reqLatency.Snapshot()
 	res.Phases = ps
 
-	res.Engine = sys.Engine.Snapshot()
+	res.Engine = sys.EngineSnapshot()
 	res.Transactions = tot.txns
 	res.Reads = tot.reads
 	res.Latency = tot.latency.Snapshot()

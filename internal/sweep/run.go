@@ -65,6 +65,13 @@ type Runner struct {
 	// event kernels produce byte-identical artifacts (asserted by
 	// TestKernelDifferential).
 	Kernel platform.KernelMode
+	// Shards > 0 overrides every point's Shards setting, running each
+	// ×pipes simulation across that many engine goroutines (the -shards
+	// flag). Like Workers and Kernel it is execution-only: artifacts are
+	// byte-identical for every shard count >= 1 (the CI shard-determinism
+	// matrix pins this), though sharded runs form their own determinism
+	// class versus legacy single-engine runs.
+	Shards int
 }
 
 const stochasticMaxCycles = 2_000_000
@@ -154,6 +161,12 @@ func (r Runner) Run(points []Point) ([]Result, error) {
 				return nil, fmt.Errorf("sweep: point %d: %w", p.ID, err)
 			}
 		}
+		if err := ValidateShards(p.Shards); err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", p.ID, err)
+		}
+	}
+	if err := ValidateShards(r.Shards); err != nil {
+		return nil, err
 	}
 	cache := &programCache{}
 	return Map(r.Workers, points, func(_ int, p Point) (Result, error) {
@@ -192,6 +205,10 @@ func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) 
 	if kernel == platform.KernelAuto {
 		kernel = platform.KernelEvent
 	}
+	shards := p.Shards
+	if r.Shards > 0 {
+		shards = r.Shards
+	}
 	cfg := platform.Config{
 		Cores:        p.Workload.Cores,
 		Interconnect: ic,
@@ -205,6 +222,7 @@ func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) 
 		Clock:         sim.Clock{PeriodNS: p.ClockPeriodNS},
 		Trace:         trace,
 		Kernel:        kernel,
+		Shards:        shards,
 	}
 
 	var (
@@ -263,7 +281,7 @@ func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) 
 	}
 	res.MakespanCycles = makespan
 	res.MakespanNS = sys.Engine.Clock().NS(makespan)
-	res.Engine = sys.Engine.Snapshot()
+	res.Engine = sys.EngineSnapshot()
 
 	hist := sim.NewLatencyHistogram()
 	for _, mon := range sys.Monitors {

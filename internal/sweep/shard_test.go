@@ -1,0 +1,158 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"noctg/internal/platform"
+)
+
+// diffShardCounts is the partition matrix the sweep-level determinism gate
+// pins, mirroring the CI shard-determinism job. Counts above a fabric's row
+// count clamp deterministically, so 8 is valid even on short meshes.
+var diffShardCounts = []int{2, 4, 8}
+
+// assertShardDifferential runs points at shards=1 under each kernel and
+// asserts every other shard count reproduces the Results — and the JSON and
+// CSV artifacts serialised from them — byte for byte.
+func assertShardDifferential(t *testing.T, points []Point, kernels []platform.KernelMode, counts []int) {
+	t.Helper()
+	for _, kernel := range kernels {
+		ref, err := Runner{Kernel: kernel, Shards: 1}.Run(points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if ref[i].Err != "" {
+				t.Fatalf("%v shards=1 point %d (%s @ %s): %s", kernel, i, ref[i].Workload, ref[i].Fabric, ref[i].Err)
+			}
+		}
+		var js, cs bytes.Buffer
+		if err := WriteJSON(&js, ref); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&cs, ref); err != nil {
+			t.Fatal(err)
+		}
+		// The shard count is execution-only: it must never leak into the
+		// serialised artifacts.
+		if bytes.Contains(js.Bytes(), []byte("shards")) {
+			t.Fatal("shard count leaked into the JSON artifact")
+		}
+
+		for _, shards := range counts {
+			got, err := Runner{Kernel: kernel, Shards: shards}.Run(points)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if !reflect.DeepEqual(ref[i], got[i]) {
+					t.Fatalf("%v shards=%d point %d (%s @ %s) diverged from shards=1:\nref: %+v\ngot: %+v",
+						kernel, shards, i, ref[i].Workload, ref[i].Fabric, ref[i], got[i])
+				}
+			}
+			var jk, ck bytes.Buffer
+			if err := WriteJSON(&jk, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(js.Bytes(), jk.Bytes()) {
+				t.Fatalf("%v: JSON artifacts differ between shards=1 and shards=%d", kernel, shards)
+			}
+			if err := WriteCSV(&ck, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(cs.Bytes(), ck.Bytes()) {
+				t.Fatalf("%v: CSV artifacts differ between shards=1 and shards=%d", kernel, shards)
+			}
+		}
+	}
+}
+
+// TestShardDifferentialScenarios is the sweep-level half of the
+// shard-determinism gate: the full spatial-pattern × topology scenario
+// sweep must serialise byte-identical artifacts at every shard count under
+// every kernel. AMBA points ignore the shard count, which is itself part of
+// the property (they must stay untouched).
+func TestShardDifferentialScenarios(t *testing.T) {
+	kernels := diffKernels()
+	if testing.Short() {
+		kernels = kernels[2:] // the event kernel is the sweep default
+	}
+	assertShardDifferential(t, ScenarioGrid().Expand(), kernels, diffShardCounts)
+}
+
+// TestShardDifferentialGrid extends the gate over the TG-replay grid: a
+// trimmed kernel × shard matrix keeps the translation cost bounded while CI
+// runs the full matrix through the tgsweep artifacts.
+func TestShardDifferentialGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid shard differential re-translates the TG workloads repeatedly")
+	}
+	assertShardDifferential(t, DefaultGrid().Expand(),
+		[]platform.KernelMode{platform.KernelStrict, platform.KernelEvent}, []int{2, 8})
+}
+
+// TestShardPointAndRunnerPrecedence pins the override order: a point's
+// Shards setting applies when the Runner is silent, and the Runner's global
+// override (the -shards flag) wins over the point.
+func TestShardPointAndRunnerPrecedence(t *testing.T) {
+	points := ScenarioGrid().Expand()[:2]
+	ref, err := Runner{Shards: 2}.Run(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaPoint := make([]Point, len(points))
+	copy(viaPoint, points)
+	for i := range viaPoint {
+		viaPoint[i].Shards = 2
+	}
+	got, err := Runner{}.Run(viaPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("Point.Shards=2 and Runner.Shards=2 must run identically")
+	}
+	for i := range viaPoint {
+		viaPoint[i].Shards = 64 // nonsense count the override must mask
+	}
+	got, err = Runner{Shards: 2}.Run(viaPoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("Runner.Shards must override Point.Shards")
+	}
+}
+
+// TestValidateShards bounds the axis at both ends.
+func TestValidateShards(t *testing.T) {
+	for _, ok := range []int{0, 1, MaxShards} {
+		if err := ValidateShards(ok); err != nil {
+			t.Fatalf("ValidateShards(%d) = %v", ok, err)
+		}
+	}
+	for _, bad := range []int{-1, MaxShards + 1} {
+		if err := ValidateShards(bad); err == nil {
+			t.Fatalf("ValidateShards(%d) accepted", bad)
+		}
+	}
+}
+
+// TestGoldenShardScenarios locks the sharded determinism class itself: the
+// scenario sweep at shards=4 is snapshotted under testdata/golden/ so any
+// drift in the conservative flow-control semantics (not just a partition
+// asymmetry) fails CI with a diffable artifact.
+func TestGoldenShardScenarios(t *testing.T) {
+	results, err := Runner{Shards: 4}.Run(ScenarioGrid().Expand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("point %d (%s @ %s): %s", r.ID, r.Workload, r.Fabric, r.Err)
+		}
+	}
+	golden(t, "shard", results)
+}

@@ -23,7 +23,13 @@ mkdir -p bench
 # quotes. Time-based benchtime gives each entry enough iterations for a
 # stable ns/op, and three repetitions let benchdiff compare min-of-runs
 # (the noise-robust statistic); the CI compare gate depends on both.
+# ShardScaling joins with its 1shard variant only: multi-shard ns/op scales
+# with the host's core count, which benchdiff's single-threaded
+# normalization probe cannot cancel, so those variants live only in the
+# full dated runs. It needs its own invocation — a combined pattern's
+# /1shard element would also filter the other benchmarks' sub-benchmarks.
 smoke_pattern='EngineTick|EngineSkipIdle|EngineEvent|TransactionPath|PhasedMeasure'
+smoke_shard_pattern='ShardScaling/1shard'
 smoke_benchtime='300ms'
 smoke_count=3
 
@@ -34,6 +40,8 @@ if [ "${1:-}" = "smoke" ]; then
   out="${2:-bench/SMOKE_BASELINE}"
   go test -run='^$' -bench="$smoke_pattern" -benchtime="$smoke_benchtime" \
     -count="$smoke_count" . | tee "$out.txt"
+  go test -run='^$' -bench="$smoke_shard_pattern" -benchtime="$smoke_benchtime" \
+    -count="$smoke_count" . | tee -a "$out.txt"
   go run ./scripts/bench2json "$out.txt" > "$out.json"
   echo "wrote $out.json" >&2
   exit 0
