@@ -7,6 +7,7 @@ import (
 	"noctg/internal/cache"
 	"noctg/internal/core"
 	"noctg/internal/exp"
+	"noctg/internal/guard"
 	"noctg/internal/layout"
 	"noctg/internal/noc"
 	"noctg/internal/ocp"
@@ -335,6 +336,31 @@ type (
 	StatsRegistry = sim.Registry
 	// StatsCounter is a zero-allocation registry-resettable counter.
 	StatsCounter = sim.Counter
+)
+
+// Guard types (the hardening layer: invariant watchdogs, structured
+// violation diagnostics, deterministic fault injection).
+type (
+	// GuardConfig selects which watchdogs run and their thresholds.
+	GuardConfig = guard.Config
+	// GuardViolation is the typed error a fired watchdog returns instead of
+	// a panic or a hang.
+	GuardViolation = guard.Violation
+	// GuardDiagnostic is the structured dump attached to violations.
+	GuardDiagnostic = guard.Diagnostic
+	// FaultPlan is a deterministic, seeded fault-injection plan (test
+	// stimulus proving the watchdogs fire).
+	FaultPlan = guard.FaultPlan
+)
+
+// Guard entry points.
+var (
+	// DefaultGuard returns the full watchdog set with default thresholds.
+	DefaultGuard = guard.Default
+	// AsViolation unwraps an error to the *GuardViolation it carries.
+	AsViolation = guard.AsViolation
+	// RandomFaultPlan derives a reproducible fabric fault plan from a seed.
+	RandomFaultPlan = guard.RandomPlan
 )
 
 // Scenario types (the declarative layer over the sweep runner).

@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"noctg/internal/exp"
+	"noctg/internal/guard"
 	"noctg/internal/platform"
 	"noctg/internal/prof"
 	"noctg/internal/sweep"
@@ -42,11 +43,17 @@ func main() {
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes: quick or default")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = all host cores)")
 		kernelFlag = flag.String("kernel", "auto", "TG-replay simulation kernel: auto (event), strict, skip or event; ARM reference runs always tick strictly")
+		guardFlag  = flag.Bool("guard", false, "arm the guard watchdogs (deadlock horizon, conservation scans) on every platform")
+		runBudget  = flag.Duration("run-budget", 0, "wall-clock budget per simulation (implies -guard)")
+		onViol     = flag.String("on-violation", "fail", "guard violation handling: fail (exit 1) or record (print diagnostics, exit 0)")
 	)
 	profiles := prof.Register()
 	flag.Parse()
 	kernel, err := platform.ParseKernel(*kernelFlag)
 	fail(err)
+	if *onViol != "record" && *onViol != "fail" {
+		fail(fmt.Errorf("-on-violation %q: want record or fail", *onViol))
+	}
 	sel := sweep.PaperSelect{
 		Table2:     *table2 || *all,
 		CrossCheck: *crosscheck || *all,
@@ -68,10 +75,24 @@ func main() {
 	}
 	opt := exp.DefaultOptions()
 	opt.Platform.Kernel = kernel
+	if *guardFlag || *runBudget > 0 {
+		opt.Guard = guard.Default()
+		opt.Guard.RunBudget = *runBudget
+	}
 	// Profiles are written on the success path only: fail() exits the
 	// process without running defers.
 	defer profiles.MustStart("tgrepro")()
 	res, err := sweep.RunPaperSelect(sizes, opt, *workers, sel)
+	if v, ok := guard.AsViolation(err); ok {
+		fmt.Fprintln(os.Stderr, "tgrepro:", err)
+		if v.Diag != nil {
+			fmt.Fprintln(os.Stderr, v.Diag.Summary())
+		}
+		if *onViol == "fail" {
+			os.Exit(1)
+		}
+		return
+	}
 	fail(err)
 	sweep.FormatPaper(os.Stdout, res, sel)
 }

@@ -58,9 +58,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"noctg/internal/exp"
+	"noctg/internal/guard"
 	"noctg/internal/platform"
 	"noctg/internal/prof"
 	"noctg/internal/scenario"
@@ -81,6 +83,9 @@ func main() {
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes for -paper: quick or default")
 		kernelFlag = flag.String("kernel", "auto", "simulation kernel: auto (event for replay), strict, skip or event")
 		shards     = flag.Int("shards", 0, "shard every ×pipes simulation across N engine goroutines (0 = legacy single engine)")
+		guardFlag  = flag.Bool("guard", false, "arm the guard watchdogs (deadlock horizon, conservation scans, barrier-stall bound) on every point")
+		runBudget  = flag.Duration("run-budget", 0, "wall-clock budget per point (implies -guard); an exceeded point fails with a run-budget violation")
+		onViol     = flag.String("on-violation", "record", "guard violation handling: record (failed point, grid continues, exit 0) or fail (same artifacts, exit 1)")
 	)
 	profiles := prof.Register()
 	flag.Parse()
@@ -88,6 +93,8 @@ func main() {
 	kernel, err := platform.ParseKernel(*kernelFlag)
 	fail(err)
 	fail(sweep.ValidateShards(*shards))
+	gcfg, err := guardConfig(*guardFlag, *runBudget, *onViol)
+	fail(err)
 
 	// Profiles are written on the success path only: fail() exits the
 	// process without running defers.
@@ -121,7 +128,7 @@ func main() {
 			fail(err)
 		}
 		if *curve {
-			runCurves(specs, *workers, *maxCycles, *out, kernel, *shards)
+			runCurves(specs, *workers, *maxCycles, *out, kernel, *shards, gcfg, *onViol)
 			return
 		}
 		var err error
@@ -145,37 +152,68 @@ func main() {
 	fmt.Fprintf(os.Stderr, "tgsweep: %d configurations, %d workers\n", len(points), *workers)
 
 	start := time.Now()
-	results, err := sweep.Runner{Workers: *workers, MaxCycles: *maxCycles, Kernel: kernel, Shards: *shards}.Run(points)
+	results, err := sweep.Runner{Workers: *workers, MaxCycles: *maxCycles, Kernel: kernel, Shards: *shards, Guard: gcfg}.Run(points)
 	fail(err)
 	wall := time.Since(start)
 
-	failed := 0
+	failed, violated := 0, 0
 	for _, r := range results {
 		if r.Err != "" {
 			failed++
 			fmt.Fprintf(os.Stderr, "tgsweep: point %d (%s @ %s): %s\n", r.ID, r.Workload, r.Fabric, r.Err)
+		}
+		if r.Violation != nil {
+			violated++
+			if r.Violation.Diag != nil {
+				fmt.Fprintln(os.Stderr, "  "+r.Violation.Diag.Summary())
+			}
 		}
 	}
 	fmt.Fprintf(os.Stderr, "tgsweep: %d/%d points ok in %v\n", len(results)-failed, len(results), wall.Round(time.Millisecond))
 
 	if *out == "-" {
 		fail(sweep.WriteJSON(os.Stdout, results))
+		exitViolations(violated, *onViol)
 		return
 	}
-	jf, err := os.Create(*out + ".json")
-	fail(err)
-	fail(sweep.WriteJSON(jf, results))
-	fail(jf.Close())
-	cf, err := os.Create(*out + ".csv")
-	fail(err)
-	fail(sweep.WriteCSV(cf, results))
-	fail(cf.Close())
+	fail(sweep.WriteArtifacts(*out, results))
 	fmt.Fprintf(os.Stderr, "tgsweep: wrote %s.json and %s.csv\n", *out, *out)
+	exitViolations(violated, *onViol)
+}
+
+// guardConfig resolves the -guard/-run-budget/-on-violation flags into a
+// runner guard configuration (nil = unguarded).
+func guardConfig(guardOn bool, budget time.Duration, onViol string) (*guard.Config, error) {
+	if onViol != "record" && onViol != "fail" {
+		return nil, fmt.Errorf("-on-violation %q: want record or fail", onViol)
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("-run-budget %v: want a non-negative duration", budget)
+	}
+	if !guardOn && budget == 0 {
+		return nil, nil
+	}
+	c := guard.Default()
+	c.RunBudget = budget
+	return &c, nil
+}
+
+// exitViolations turns recorded violations into the process exit status
+// under -on-violation fail. Artifacts are already on disk at this point:
+// a failing sweep still leaves its (deterministic) partial results behind.
+func exitViolations(violated int, onViol string) {
+	if violated == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "tgsweep: %d points failed with guard violations\n", violated)
+	if onViol == "fail" {
+		os.Exit(1)
+	}
 }
 
 // runCurves sweeps each scenario's injection load and writes load-latency
 // curve artifacts (<out>.json / <out>.csv, or JSON on stdout with "-").
-func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string, kernel platform.KernelMode, shards int) {
+func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string, kernel platform.KernelMode, shards int, gcfg *guard.Config, onViol string) {
 	css, err := scenario.Curves(specs)
 	fail(err)
 	levels := 0
@@ -187,7 +225,7 @@ func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string,
 	}
 	fmt.Fprintf(os.Stderr, "tgsweep: %d curves (%d load levels), %d workers\n", len(css), levels, workers)
 	start := time.Now()
-	curves, err := sweep.Runner{Workers: workers, MaxCycles: maxCycles, Kernel: kernel, Shards: shards}.RunCurves(css)
+	curves, err := sweep.Runner{Workers: workers, MaxCycles: maxCycles, Kernel: kernel, Shards: shards, Guard: gcfg}.RunCurves(css)
 	fail(err)
 	sat := 0
 	for _, c := range curves {
@@ -200,19 +238,24 @@ func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string,
 		}
 	}
 	fmt.Fprintf(os.Stderr, "tgsweep: %d/%d curves saturated in %v\n", sat, len(curves), time.Since(start).Round(time.Millisecond))
+	violated := 0
+	for _, c := range curves {
+		for _, p := range c.Points {
+			// Violation errors stringify with the guard prefix; the curve
+			// artifact keeps only the flat message per level.
+			if strings.HasPrefix(p.Err, "guard:") {
+				violated++
+			}
+		}
+	}
 	if out == "-" {
 		fail(sweep.WriteCurvesJSON(os.Stdout, curves))
+		exitViolations(violated, onViol)
 		return
 	}
-	jf, err := os.Create(out + ".json")
-	fail(err)
-	fail(sweep.WriteCurvesJSON(jf, curves))
-	fail(jf.Close())
-	cf, err := os.Create(out + ".csv")
-	fail(err)
-	fail(sweep.WriteCurvesCSV(cf, curves))
-	fail(cf.Close())
+	fail(sweep.WriteCurveArtifacts(out, curves))
 	fmt.Fprintf(os.Stderr, "tgsweep: wrote %s.json and %s.csv\n", out, out)
+	exitViolations(violated, onViol)
 }
 
 // runPaper executes the whole evaluation in parallel and prints the same

@@ -137,4 +137,26 @@
 // each level measured open-loop in adaptive epochs, with the saturation
 // point detected from the marginal-throughput knee, request-latency
 // blow-up versus zero-load, or unbounded epoch-over-epoch latency growth.
+//
+// # Guard layer: watchdogs and fault injection
+//
+// A GuardConfig (Options.Guard, SweepRunner.Guard, the -guard and
+// -run-budget CLI flags) arms runtime invariant watchdogs on any run: a
+// deadlock horizon (live packets but no retirement for NoRetireHorizon
+// cycles), flit/credit and packet-pool conservation scans every
+// ConservationEvery cycles, a wall-clock RunBudget for the whole run, and
+// a BarrierStall watchdog on the sharded SPMD barrier. A tripped watchdog
+// aborts the run with a typed GuardViolation — kind, cycle, shard and a
+// GuardDiagnostic dump of the wedged fabric (stuck queues, blocked
+// masters, per-shard windows) — recoverable from any error chain via
+// AsViolation. Fault-free guarded runs are byte-identical to unguarded
+// ones at every kernel and shard count, and the guarded hot paths stay
+// allocation-free; DefaultGuard enables everything but the wall-clock
+// budget. The watchdogs are themselves pinned by deterministic fault
+// injection: a FaultPlan (or seeded RandomFaultPlan) wedges links, drops
+// flits, freezes slaves, leaks packets or stalls shards inside cycle
+// windows, and the guard test matrix proves each fault class trips its
+// watchdog under every kernel and shard count. In sweeps, a violating
+// point is recorded as a failed Result carrying the violation while the
+// rest of the grid completes (tgsweep -on-violation record|fail).
 package noctg

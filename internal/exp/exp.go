@@ -13,6 +13,7 @@ import (
 
 	"noctg/internal/cache"
 	"noctg/internal/core"
+	"noctg/internal/guard"
 	"noctg/internal/layout"
 	"noctg/internal/ocp"
 	"noctg/internal/platform"
@@ -27,6 +28,11 @@ type Options struct {
 	Platform platform.Config
 	// ICache and DCache configure the processor caches.
 	ICache, DCache cache.Config
+	// Guard arms the guard watchdogs (see internal/guard) on every
+	// platform the harness builds. The zero value disables them; fault-free
+	// guarded runs are byte-identical to unguarded ones, and a violation
+	// surfaces as a typed *guard.Violation error from the run.
+	Guard guard.Config
 }
 
 // DefaultOptions returns the reference AMBA platform configuration.
@@ -60,6 +66,7 @@ func RunReference(spec *prog.Spec, opt Options, traced bool) (*RefResult, error)
 	if err != nil {
 		return nil, err
 	}
+	sys.EnableGuard(opt.Guard)
 	start := time.Now()
 	makespan, err := sys.Run(spec.MaxCycles)
 	wall := time.Since(start)
@@ -130,6 +137,7 @@ func RunTG(spec *prog.Spec, programs []*core.Program, opt Options) (*TGResult, e
 	if err != nil {
 		return nil, err
 	}
+	sys.EnableGuard(opt.Guard)
 	start := time.Now()
 	makespan, err := sys.Run(spec.MaxCycles)
 	wall := time.Since(start)

@@ -1,0 +1,106 @@
+package guard
+
+import (
+	"math/rand"
+	"time"
+)
+
+// FaultPlan is a deterministic, seeded set of injected faults. It exists
+// purely as test stimulus: each fault class is designed to manufacture one
+// watchdog's failure mode on demand, so the guard suite can prove every
+// watchdog actually fires. Plans are data (JSON-serialisable) so a failing
+// configuration can be reproduced exactly.
+type FaultPlan struct {
+	// Seed records the generator seed for plans built by RandomPlan
+	// (informational; the fault lists below are what executes).
+	Seed int64 `json:"seed,omitempty"`
+	// LinkStalls block a router's output link for a cycle window —
+	// backpressure builds behind it and, held long enough, the no-retire
+	// deadlock horizon fires.
+	LinkStalls []LinkStall `json:"link_stalls,omitempty"`
+	// FlitDrops silently discard every flit forwarded through a router
+	// output during a cycle window — flit conservation (and usually pool
+	// mass) breaks.
+	FlitDrops []FlitDrop `json:"flit_drops,omitempty"`
+	// SlaveFreezes stop a slave NI from serving or draining during a cycle
+	// window — requests pile up and the deadlock horizon fires.
+	SlaveFreezes []SlaveFreeze `json:"slave_freezes,omitempty"`
+	// PacketLeaks make a slave NI forget to recycle served request packets
+	// during a cycle window — pool mass breaks.
+	PacketLeaks []PacketLeak `json:"packet_leaks,omitempty"`
+	// ShardStalls put one shard to sleep on the host clock at a window
+	// boundary — the barrier-stall watchdog fires on its peers.
+	ShardStalls []ShardStall `json:"shard_stalls,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *FaultPlan) Empty() bool {
+	return len(p.LinkStalls) == 0 && len(p.FlitDrops) == 0 && len(p.SlaveFreezes) == 0 &&
+		len(p.PacketLeaks) == 0 && len(p.ShardStalls) == 0
+}
+
+// LinkStall blocks router Node's output link Dir ("n","e","s","w") for
+// cycles [From, To).
+type LinkStall struct {
+	Node int    `json:"node"`
+	Dir  string `json:"dir"`
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+// FlitDrop discards every flit forwarded through router Node's output Dir
+// during cycles [From, To).
+type FlitDrop struct {
+	Node int    `json:"node"`
+	Dir  string `json:"dir"`
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+// SlaveFreeze stops the slave NI at Node for cycles [From, To).
+type SlaveFreeze struct {
+	Node int    `json:"node"`
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+// PacketLeak drops (instead of recycling) request packets the slave NI at
+// Node finishes serving during cycles [From, To).
+type PacketLeak struct {
+	Node int    `json:"node"`
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+// ShardStall sleeps shard Shard for Wall of host time at the first window
+// boundary at or after AtCycle. Wall must exceed the runner's configured
+// BarrierStall for the watchdog to fire.
+type ShardStall struct {
+	Shard   int           `json:"shard"`
+	AtCycle uint64        `json:"at_cycle"`
+	Wall    time.Duration `json:"wall"`
+}
+
+// RandomPlan derives a reproducible fabric fault plan from a seed: one
+// link stall, one slave freeze and one flit drop with pseudo-random
+// placement over nodes [0, nodes) and windows within [0, horizon). The
+// same (seed, nodes, horizon) always yields the same plan. Directions are
+// drawn from the full compass; callers injecting into a mesh should remap
+// edge nodes or use the torus, where every direction has a link.
+func RandomPlan(seed int64, nodes int, horizon uint64) FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	dirs := [4]string{"n", "e", "s", "w"}
+	window := func() (uint64, uint64) {
+		from := uint64(rng.Int63n(int64(horizon/2 + 1)))
+		length := uint64(rng.Int63n(int64(horizon/2+1)) + 1)
+		return from, from + length
+	}
+	p := FaultPlan{Seed: seed}
+	f0, t0 := window()
+	p.LinkStalls = append(p.LinkStalls, LinkStall{Node: rng.Intn(nodes), Dir: dirs[rng.Intn(4)], From: f0, To: t0})
+	f1, t1 := window()
+	p.SlaveFreezes = append(p.SlaveFreezes, SlaveFreeze{Node: rng.Intn(nodes), From: f1, To: t1})
+	f2, t2 := window()
+	p.FlitDrops = append(p.FlitDrops, FlitDrop{Node: rng.Intn(nodes), Dir: dirs[rng.Intn(4)], From: f2, To: t2})
+	return p
+}

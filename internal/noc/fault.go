@@ -1,0 +1,159 @@
+package noc
+
+import (
+	"fmt"
+
+	"noctg/internal/guard"
+)
+
+// This file implements the fabric side of deterministic fault injection
+// (guard.FaultPlan): compiled fault tables consulted from the router and
+// slave-NI hot paths behind a single nil check, so an uninjected network
+// pays one predictable branch per hook site and an injected one stays
+// deterministic for every kernel and shard count (activity depends only on
+// (node, port, cycle), never on host schedule).
+
+// faultSpan is one half-open active window [from, to).
+type faultSpan struct{ from, to uint64 }
+
+func spansActive(spans []faultSpan, cycle uint64) bool {
+	for _, s := range spans {
+		if cycle >= s.from && cycle < s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// linkKey identifies a router output (node, dir).
+func linkKey(node, dir int) uint32 { return uint32(node)<<3 | uint32(dir) }
+
+// faultSet is a FaultPlan compiled for O(1)-ish hot-path lookup.
+type faultSet struct {
+	stalls  map[uint32][]faultSpan // keyed by linkKey: blocked outputs
+	drops   map[uint32][]faultSpan // keyed by linkKey: dropped deliveries
+	freezes map[int][]faultSpan    // keyed by node: frozen slave NIs
+	leaks   map[int][]faultSpan    // keyed by node: leaked retirements
+}
+
+func (fs *faultSet) stalled(node, dir int, cycle uint64) bool {
+	if fs.stalls == nil {
+		return false
+	}
+	return spansActive(fs.stalls[linkKey(node, dir)], cycle)
+}
+
+func (fs *faultSet) dropped(node, dir int, cycle uint64) bool {
+	if fs.drops == nil {
+		return false
+	}
+	return spansActive(fs.drops[linkKey(node, dir)], cycle)
+}
+
+func (fs *faultSet) frozen(node int, cycle uint64) bool {
+	if fs.freezes == nil {
+		return false
+	}
+	return spansActive(fs.freezes[node], cycle)
+}
+
+func (fs *faultSet) leaked(node int, cycle uint64) bool {
+	if fs.leaks == nil {
+		return false
+	}
+	return spansActive(fs.leaks[node], cycle)
+}
+
+// dirIndex parses a FaultPlan direction letter into a router port.
+func dirIndex(s string) (int, error) {
+	switch s {
+	case "n":
+		return portN, nil
+	case "e":
+		return portE, nil
+	case "s":
+		return portS, nil
+	case "w":
+		return portW, nil
+	}
+	return 0, fmt.Errorf("noc: unknown link direction %q (want n/e/s/w)", s)
+}
+
+var portNames = [numPorts]string{portN: "n", portE: "e", portS: "s", portW: "w", portL: "local"}
+
+// InjectFaults compiles and installs the plan's fabric faults. It
+// validates every target (node range, physical link existence, slave
+// presence) and rejects shard stalls — those are injected through the
+// shard runner (platform.System.InjectFaults routes them). Injection is
+// cumulative across calls; faults cannot be removed.
+func (n *Network) InjectFaults(plan guard.FaultPlan) error {
+	if len(plan.ShardStalls) > 0 {
+		return fmt.Errorf("noc: shard stalls are injected through the shard runner, not the fabric")
+	}
+	fs := n.faults
+	if fs == nil {
+		fs = &faultSet{}
+	}
+	link := func(node int, dir string) (uint32, error) {
+		if node < 0 || node >= len(n.routers) {
+			return 0, fmt.Errorf("noc: fault targets node %d outside mesh of %d", node, len(n.routers))
+		}
+		d, err := dirIndex(dir)
+		if err != nil {
+			return 0, err
+		}
+		if !n.hasLink(n.routers[node], d) {
+			return 0, fmt.Errorf("noc: fault targets missing link %s of node %d", dir, node)
+		}
+		return linkKey(node, d), nil
+	}
+	slaveAt := func(node int) error {
+		if node < 0 || node >= len(n.routers) {
+			return fmt.Errorf("noc: fault targets node %d outside mesh of %d", node, len(n.routers))
+		}
+		if _, ok := n.routers[node].local.(*slaveNI); !ok {
+			return fmt.Errorf("noc: fault targets node %d, which has no slave NI", node)
+		}
+		return nil
+	}
+	for _, f := range plan.LinkStalls {
+		k, err := link(f.Node, f.Dir)
+		if err != nil {
+			return err
+		}
+		if fs.stalls == nil {
+			fs.stalls = map[uint32][]faultSpan{}
+		}
+		fs.stalls[k] = append(fs.stalls[k], faultSpan{f.From, f.To})
+	}
+	for _, f := range plan.FlitDrops {
+		k, err := link(f.Node, f.Dir)
+		if err != nil {
+			return err
+		}
+		if fs.drops == nil {
+			fs.drops = map[uint32][]faultSpan{}
+		}
+		fs.drops[k] = append(fs.drops[k], faultSpan{f.From, f.To})
+	}
+	for _, f := range plan.SlaveFreezes {
+		if err := slaveAt(f.Node); err != nil {
+			return err
+		}
+		if fs.freezes == nil {
+			fs.freezes = map[int][]faultSpan{}
+		}
+		fs.freezes[f.Node] = append(fs.freezes[f.Node], faultSpan{f.From, f.To})
+	}
+	for _, f := range plan.PacketLeaks {
+		if err := slaveAt(f.Node); err != nil {
+			return err
+		}
+		if fs.leaks == nil {
+			fs.leaks = map[int][]faultSpan{}
+		}
+		fs.leaks[f.Node] = append(fs.leaks[f.Node], faultSpan{f.From, f.To})
+	}
+	n.faults = fs
+	return nil
+}

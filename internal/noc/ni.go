@@ -238,6 +238,9 @@ func (s *slaveNI) acceptFlit(fl flit, cycle uint64) {
 }
 
 func (s *slaveNI) tick(cycle uint64) {
+	if fa := s.net.faults; fa != nil && fa.frozen(s.node, cycle) {
+		return // injected fault: the slave serves and drains nothing
+	}
 	// Drain the outgoing response packet first: one flit per cycle.
 	if s.out != nil {
 		r := s.net.routers[s.node]
@@ -279,7 +282,13 @@ func (s *slaveNI) tick(cycle uint64) {
 				s.st.slaveErrors.Inc()
 			}
 		}
-		s.st.putPacket(s.current)
+		if fa := s.net.faults; fa != nil && fa.leaked(s.node, cycle) {
+			// Injected fault: the served request packet is forgotten
+			// instead of recycled, so the pool-mass watchdog has a real
+			// leak to catch.
+		} else {
+			s.st.putPacket(s.current)
+		}
 		s.current = nil
 	}
 	if s.current == nil && s.qhead < len(s.queue) {

@@ -424,6 +424,9 @@ func (r *router) tick(cycle uint64) {
 // turns reset the dateline bit, wrap links set it); the allocation fixes
 // one (input port, input VC) owner until the packet's tail passes.
 func (r *router) tryForward(o, ovc int, cycle uint64) bool {
+	if fa := r.n.faults; fa != nil && fa.stalled(r.id, o, cycle) {
+		return false
+	}
 	if r.alloc[o][ovc].in < 0 {
 		// Allocate the wormhole to an input whose head flit requests o
 		// and would leave on ovc.
@@ -477,6 +480,12 @@ func (r *router) tryForward(o, ovc int, cycle uint64) bool {
 	if moved.tail() {
 		r.alloc[o][ovc] = hold{in: -1}
 	}
+	if fa := r.n.faults; fa != nil && fa.dropped(r.id, o, cycle) {
+		// Injected fault: the flit vanishes with its bookkeeping
+		// deliberately left inconsistent, so the conservation (and, for a
+		// tail, pool-mass) watchdogs have something real to catch.
+		return true
+	}
 	r.deliver(o, ovc, moved, cycle)
 	return true
 }
@@ -509,6 +518,11 @@ type shardState struct {
 	// FIFOs: incremented on NI injection and cross-shard import,
 	// decremented on local delivery and cross-shard export.
 	residentFlits int
+	// retired counts packets ever recycled through putPacket. Unlike the
+	// registry stats below it is never reset: the guard layer's deadlock
+	// watchdog needs a monotone progress signal that survives epoch
+	// boundaries (see guard.go).
+	retired uint64
 
 	// Stats — sim.Counter/sim.Histogram handles registered with the
 	// platform's stats registry (RegisterStats), so phased measurement can
@@ -555,6 +569,14 @@ type Network struct {
 	// waker is the engine's wake handle (sim.WakeSink); nil when the
 	// network is driven outside an engine.
 	waker sim.Waker
+
+	// faults holds the compiled fault-injection tables (nil on an
+	// uninjected network — the hot-path hooks are a single nil check); see
+	// fault.go.
+	faults *faultSet
+	// guardTally is the conservation scan's cached per-domain scratch so
+	// repeated scans allocate nothing; see guard.go.
+	guardTally []domainTally
 }
 
 // New builds a Width×Height mesh or torus. now supplies the current engine
@@ -621,6 +643,7 @@ func (st *shardState) getPacket() *packet {
 // region's next Exchange.
 func (st *shardState) putPacket(p *packet) {
 	st.livePackets--
+	st.retired++
 	st.hops.Observe(uint64(p.hops))
 	buf := p.dataBuf
 	home := p.home

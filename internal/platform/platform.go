@@ -375,6 +375,10 @@ func Build(cfg Config, factory MasterFactory) (*System, error) {
 					}
 					return rg.Idle()
 				},
+				// Guard probes: read only by this shard's goroutine, summed
+				// identically by every shard from the barrier-published slots.
+				Progress: rg.Retired,
+				Live:     rg.Live,
 			}
 		}
 		s.Sharded = shard.New(shards)

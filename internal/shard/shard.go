@@ -32,14 +32,32 @@
 // its local predicate at every boundary, and a round starts by checking the
 // conjunction, so all shards stop on the same cycle for any shard count and
 // any host schedule.
+//
+// # Guarding
+//
+// EnableGuard arms the runner's watchdogs (see internal/guard). The guard
+// verdicts ride the same SPMD discipline as completion: every shard sums
+// the barrier-published progress/live counters and reaches the identical
+// deadlock verdict in the identical round, and shard 0 publishes the
+// wall-clock budget verdict in its slot, so all shards stop together
+// without a new synchronisation mechanism — which is also what keeps
+// fault-free guarded runs byte-identical to unguarded ones for every shard
+// count. On a guarded runner a device panic, a barrier stall or an
+// invariant break surfaces as a typed *guard.Violation error (with shard
+// context and a diagnostic dump) instead of a panic or a hang, and the
+// runner latches dead: every later call returns the same violation. An
+// unguarded runner keeps the legacy behaviour of re-raising device panics.
 package shard
 
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"noctg/internal/guard"
 	"noctg/internal/sim"
 )
 
@@ -56,26 +74,74 @@ type Exchanger interface {
 // the boundary exchanger, and the shard-local completion predicate (all
 // local masters done and the local region drained). Done must read only
 // shard-local state — it is evaluated concurrently with other shards'
-// predicates.
+// predicates. Progress and Live are the optional guard probes (a monotone
+// local retirement count and the local pool's in-flight contribution);
+// like Done they run on the shard's own goroutine and must read only
+// shard-local state.
 type Shard struct {
 	Engine    *sim.Engine
 	Exchanger Exchanger
 	Done      func() bool
+	Progress  func() uint64
+	Live      func() int
 }
 
 // slot is one shard's barrier-published state. Slots are padded apart so
-// the per-round horizon stores of neighbouring shards do not false-share a
-// cache line.
+// the per-round stores of neighbouring shards do not false-share a cache
+// line.
 type slot struct {
 	horizon uint64 // engine wake horizon as of the last boundary
-	done    bool   // local completion as of the last boundary
-	sense   uint32 // this shard's private barrier sense
-	_       [48]byte
+	// progress and live are the shard's guard probes as of the last
+	// boundary (zero when unguarded or unprobed).
+	progress uint64
+	live     int64
+	sense    uint32 // this shard's private barrier sense
+	// btrip is shard 0's published wall-clock budget verdict: every shard
+	// reads slots[0].btrip after the barrier, so the whole fleet trips in
+	// the same round.
+	btrip uint32
+	done  bool // local completion as of the last boundary
+	_     [31]byte
 }
 
-// poisonBox carries the first panic out of a worker so every participant —
-// and the caller — can re-raise it instead of deadlocking at a barrier.
-type poisonBox struct{ v any }
+// poisonBox carries the first panic out of a worker — with the shard that
+// raised it and its stack — so every participant and the caller can
+// re-raise (unguarded) or convert it to a Violation (guarded) instead of
+// deadlocking at a barrier.
+type poisonBox struct {
+	v     any
+	shard int
+	stack []byte
+}
+
+// gshard is one shard's private deadlock-horizon tracker. Every shard
+// updates its own from the identical published sums, so the verdicts stay
+// SPMD; the padding keeps the per-round writes from false sharing.
+type gshard struct {
+	lastProgress uint64
+	lastCycle    uint64
+	haveBase     bool
+	_            [40]byte
+}
+
+// guardState holds the runner's armed watchdogs.
+type guardState struct {
+	cfg  guard.Config
+	scan func() *guard.Violation
+	diag func() *guard.Diagnostic
+
+	// start/rounds/tripped drive the wall-clock budget; they are touched
+	// only by shard 0 (the caller's goroutine).
+	start   time.Time
+	rounds  uint32
+	tripped bool
+
+	states []gshard
+}
+
+// budgetRoundMask amortises the budget's time.Now() to one syscall per 64
+// rounds.
+const budgetRoundMask = 63
 
 // Runner synchronises a set of shards. All methods must be called from a
 // single goroutine (the platform's run loop); the Runner spawns and joins
@@ -97,6 +163,25 @@ type Runner struct {
 	count  atomic.Int32
 	sense  atomic.Uint32
 	poison atomic.Pointer[poisonBox]
+
+	// liveWorkers counts segment goroutines that have not finished segDone
+	// yet; the guarded bounded join spins on it instead of allocating a
+	// channel and timer per segment.
+	liveWorkers atomic.Int32
+
+	// guard is nil until EnableGuard. gv is shard 0's loop-top verdict for
+	// the current segment (written on the caller's goroutine only); dead
+	// latches the first violation so every later call fails fast instead
+	// of re-entering a broken barrier protocol.
+	guard *guardState
+	gv    *guard.Violation
+	dead  error
+
+	// stalls are injected shard-stall faults (test stimulus for the
+	// barrier watchdog); stallArmed[i] is written only by the goroutine of
+	// the shard stalls[i] targets.
+	stalls     []guard.ShardStall
+	stallArmed []bool
 }
 
 // New builds a runner over the shards. The shards' engines must be fully
@@ -129,6 +214,33 @@ func (r *Runner) Shards() int { return len(r.shards) }
 // between segments (all engines agree there).
 func (r *Runner) Cycle() uint64 { return r.shards[0].Engine.Cycle() }
 
+// EnableGuard arms the runner's watchdogs: the deadlock horizon and run
+// budget from cfg (checked at every round boundary), the barrier-stall
+// bound on barrier waits, and — when cfg.Conservation is set and scan is
+// non-nil — an invariant scan at every segment end. diag, when non-nil,
+// captures the diagnostic dump attached to violations (the runner appends
+// per-shard window state). Call before the first segment.
+func (r *Runner) EnableGuard(cfg guard.Config, scan func() *guard.Violation, diag func() *guard.Diagnostic) {
+	r.guard = &guardState{cfg: cfg, scan: scan, diag: diag, states: make([]gshard, len(r.shards))}
+}
+
+// InjectStalls arms shard-stall faults (guard.FaultPlan test stimulus):
+// the targeted shard sleeps Wall of host time at its first round boundary
+// at or after AtCycle, which the peers' barrier-stall watchdog must catch.
+func (r *Runner) InjectStalls(stalls []guard.ShardStall) error {
+	for _, f := range stalls {
+		if f.Shard < 0 || f.Shard >= len(r.shards) {
+			return fmt.Errorf("shard: stall fault targets shard %d of a %d-shard runner", f.Shard, len(r.shards))
+		}
+		if f.Wall <= 0 {
+			return fmt.Errorf("shard: stall fault on shard %d needs a positive wall duration", f.Shard)
+		}
+	}
+	r.stalls = append(r.stalls, stalls...)
+	r.stallArmed = make([]bool, len(r.stalls))
+	return nil
+}
+
 // barrierSpin bounds the busy-wait before yielding the thread. On hosts
 // with fewer cores than shards a waiting spinner may be occupying the very
 // CPU the straggler needs, so the barrier must always fall back to the
@@ -139,7 +251,10 @@ const barrierSpin = 128
 // count/sense pair orders every write made before the barrier ahead of
 // every read after it, which is the only synchronisation the cut-link
 // rings and credit counters need. A poisoned runner (a panicking peer)
-// re-raises inside the wait so no shard spins forever.
+// re-raises inside the wait so no shard spins forever; on a guarded
+// runner a wait exceeding the barrier-stall bound poisons the runner with
+// a KindBarrierStall violation instead of spinning forever behind a hung
+// peer.
 func (r *Runner) await(s int) {
 	ns := r.slots[s].sense ^ 1
 	r.slots[s].sense = ns
@@ -148,18 +263,53 @@ func (r *Runner) await(s int) {
 		r.sense.Store(ns)
 		return
 	}
+	var stall time.Duration
+	if g := r.guard; g != nil {
+		stall = g.cfg.BarrierStall
+	}
+	var deadline time.Time
 	for spin := 0; r.sense.Load() != ns; spin++ {
 		if p := r.poison.Load(); p != nil {
 			panic(p.v)
 		}
 		if spin > barrierSpin {
 			runtime.Gosched()
+			if stall > 0 && spin&1023 == 0 {
+				// The wall clock is consulted once per 1024 yields: cheap
+				// enough to leave armed, frequent enough to trip within
+				// microseconds of the deadline.
+				if deadline.IsZero() {
+					deadline = time.Now().Add(stall)
+				} else if time.Now().After(deadline) {
+					v := &guard.Violation{Kind: guard.KindBarrierStall, Cycle: r.shards[s].Engine.Cycle(), Shard: s,
+						Msg: fmt.Sprintf("waited longer than %v at a window barrier (%d of %d shards arrived)",
+							stall, r.count.Load(), len(r.shards))}
+					r.poisonShard(v, s)
+					panic(v)
+				}
+			}
 		}
 	}
 }
 
-func (r *Runner) poisonWith(v any) {
-	r.poison.CompareAndSwap(nil, &poisonBox{v: v})
+// poisonShard records the first failure with its shard context; raw panics
+// also capture the raising goroutine's stack.
+func (r *Runner) poisonShard(v any, s int) {
+	b := &poisonBox{v: v, shard: s}
+	if _, ok := v.(*guard.Violation); !ok {
+		b.stack = debug.Stack()
+	}
+	r.poison.CompareAndSwap(nil, b)
+}
+
+// asViolation converts the poison into the typed violation a guarded
+// caller returns.
+func (b *poisonBox) asViolation(cycle uint64) *guard.Violation {
+	if v, ok := b.v.(*guard.Violation); ok {
+		return v
+	}
+	return &guard.Violation{Kind: guard.KindPanic, Cycle: cycle, Shard: b.shard,
+		Msg: fmt.Sprint(b.v), Stack: string(b.stack)}
 }
 
 // allDone reports the published global completion predicate. Every shard
@@ -186,21 +336,121 @@ func (r *Runner) minHorizon() uint64 {
 	return w
 }
 
+// publishGuard publishes shard s's guard probes into its slot during the
+// boundary publish step (between the barriers, like horizon/done). Shard 0
+// additionally publishes the wall-clock budget verdict.
+func (r *Runner) publishGuard(s int, sl *slot) {
+	sh := r.shards[s]
+	if sh.Progress != nil {
+		sl.progress = sh.Progress()
+	}
+	if sh.Live != nil {
+		sl.live = int64(sh.Live())
+	}
+	if s == 0 {
+		sl.btrip = r.guard.budgetCheck()
+	}
+}
+
+// budgetCheck evaluates the wall-clock budget (shard 0 only). Once tripped
+// it stays tripped.
+func (g *guardState) budgetCheck() uint32 {
+	if g.tripped {
+		return 1
+	}
+	if g.cfg.RunBudget <= 0 {
+		return 0
+	}
+	g.rounds++
+	if g.rounds&budgetRoundMask != 0 {
+		return 0
+	}
+	if time.Since(g.start) > g.cfg.RunBudget {
+		g.tripped = true
+		return 1
+	}
+	return 0
+}
+
+// guardVerdict evaluates the SPMD watchdogs at a round top over
+// barrier-published data only, so every shard reaches the identical
+// verdict in the identical round — the property that lets a violation
+// stop all shards together without extra synchronisation, and keeps the
+// trip cycle itself independent of the shard count. It allocates only when
+// a verdict fires.
+func (r *Runner) guardVerdict(s int, c uint64) *guard.Violation {
+	g := r.guard
+	if r.slots[0].btrip != 0 {
+		return &guard.Violation{Kind: guard.KindBudget, Cycle: c, Shard: -1,
+			Msg: fmt.Sprintf("wall-clock run budget %v exceeded", g.cfg.RunBudget)}
+	}
+	if g.cfg.NoRetireHorizon == 0 {
+		return nil
+	}
+	var prog uint64
+	var live int64
+	for i := range r.slots {
+		prog += r.slots[i].progress
+		live += r.slots[i].live
+	}
+	st := &g.states[s]
+	if !st.haveBase || prog != st.lastProgress || live <= 0 {
+		// Retirement, or legitimate quiescence: the horizon restarts here.
+		st.haveBase = true
+		st.lastProgress = prog
+		st.lastCycle = c
+		return nil
+	}
+	if c-st.lastCycle >= g.cfg.NoRetireHorizon {
+		return &guard.Violation{Kind: guard.KindDeadlock, Cycle: c, Shard: -1,
+			Msg: fmt.Sprintf("no packet retired for %d cycles with %d in flight (horizon %d)",
+				c-st.lastCycle, live, g.cfg.NoRetireHorizon)}
+	}
+	return nil
+}
+
+// maybeStall fires any injected stall fault targeting shard s that is due
+// at cycle c (once each).
+func (r *Runner) maybeStall(s int, c uint64) {
+	for i := range r.stalls {
+		f := &r.stalls[i]
+		if f.Shard == s && !r.stallArmed[i] && c >= f.AtCycle {
+			r.stallArmed[i] = true
+			time.Sleep(f.Wall)
+		}
+	}
+}
+
 // shardLoop is the SPMD body every shard runs for one segment: publish the
 // entry state, then rounds of compute / exchange until the shared stop
-// condition (global completion or the segment target) fires — identically
-// on every shard.
+// condition (global completion, the segment target, or a guard verdict)
+// fires — identically on every shard.
 func (r *Runner) shardLoop(s int, target uint64) {
 	sh := r.shards[s]
 	win := r.wins[s]
 	sl := &r.slots[s]
+	g := r.guard
 	c := sh.Engine.Cycle()
 	sl.horizon = win.NextWake()
 	sl.done = sh.Done()
+	if g != nil {
+		r.publishGuard(s, sl)
+	}
 	r.await(s)
 	for {
 		if r.allDone() || c >= target {
 			return
+		}
+		if g != nil {
+			if v := r.guardVerdict(s, c); v != nil {
+				if s == 0 {
+					r.gv = v
+				}
+				return
+			}
+		}
+		if r.stalls != nil {
+			r.maybeStall(s, c)
 		}
 		t := c + 1
 		if w := r.minHorizon(); w > t {
@@ -216,6 +466,9 @@ func (r *Runner) shardLoop(s int, target uint64) {
 		}
 		sl.horizon = win.NextWake()
 		sl.done = sh.Done()
+		if g != nil {
+			r.publishGuard(s, sl)
+		}
 		r.await(s)
 		c = t
 	}
@@ -224,56 +477,170 @@ func (r *Runner) shardLoop(s int, target uint64) {
 // segWorker drives one non-caller shard through a segment, converting a
 // device panic into runner poison instead of killing the process.
 func (r *Runner) segWorker(s int) {
-	defer r.segDone()
+	defer r.segDone(s)
 	r.shardLoop(s, r.target)
 }
 
-func (r *Runner) segDone() {
+func (r *Runner) segDone(s int) {
 	if v := recover(); v != nil {
-		r.poisonWith(v)
+		r.poisonShard(v, s)
 	}
+	// Done before the live decrement: once liveWorkers reads zero, every
+	// worker has already passed its wg.Done, so the joiner's wg.Wait cannot
+	// block.
 	r.wg.Done()
+	r.liveWorkers.Add(-1)
 }
 
-// runShard0 runs the caller's shard, poisoning the runner before unwinding
-// a panic so the workers drain out of their barriers and can be joined.
+// runShard0 runs the caller's shard, poisoning the runner on a panic so
+// the workers drain out of their barriers; runSegment re-raises (legacy)
+// or converts the poison (guarded) after the join.
 func (r *Runner) runShard0(target uint64) {
 	defer func() {
 		if v := recover(); v != nil {
-			r.poisonWith(v)
-			r.wg.Wait()
-			panic(v)
+			r.poisonShard(v, 0)
 		}
 	}()
 	r.shardLoop(0, target)
 }
 
+// joinWorkers joins the segment's goroutines. A guarded runner with a
+// barrier-stall bound uses a bounded join: once shard 0 has returned,
+// every healthy peer is on its way out of the same round, so a join that
+// outlasts the grace period means a shard is genuinely hung (the condition
+// the stall watchdog exists for) and the runner gives the workers up
+// rather than hanging its caller. The bound is a spin/yield wait on the
+// live-worker count — no channel, goroutine or timer — so the healthy path
+// stays allocation-free.
+func (r *Runner) joinWorkers() error {
+	g := r.guard
+	if g == nil || g.cfg.BarrierStall <= 0 {
+		r.wg.Wait()
+		return nil
+	}
+	grace := 4 * g.cfg.BarrierStall
+	if grace < time.Second {
+		grace = time.Second
+	}
+	var deadline time.Time
+	for spin := 0; r.liveWorkers.Load() != 0; spin++ {
+		if spin > barrierSpin {
+			runtime.Gosched()
+			if spin&1023 == 0 {
+				if deadline.IsZero() {
+					deadline = time.Now().Add(grace)
+				} else if time.Now().After(deadline) {
+					return &guard.Violation{Kind: guard.KindBarrierStall, Cycle: r.shards[0].Engine.Cycle(), Shard: -1,
+						Msg: fmt.Sprintf("a shard worker failed to join within %v of segment end; runner abandoned", grace)}
+				}
+			}
+		}
+	}
+	r.wg.Wait()
+	return nil
+}
+
+// attachDiag attaches the diagnostic dump (fabric state plus per-shard
+// window state) to a violation. The diag probe walks device state a
+// violation may have left mid-tick-inconsistent, so it runs under its own
+// recover: losing the dump must never lose the violation.
+func (r *Runner) attachDiag(v *guard.Violation) {
+	g := r.guard
+	if g == nil {
+		return
+	}
+	if v.Diag == nil && g.diag != nil {
+		func() {
+			defer func() { _ = recover() }()
+			v.Diag = g.diag()
+		}()
+	}
+	if v.Diag == nil {
+		return
+	}
+	for i := range r.shards {
+		sl := &r.slots[i]
+		v.Diag.Shards = append(v.Diag.Shards, guard.ShardWindow{
+			Shard: i, Cycle: r.shards[i].Engine.Cycle(), Horizon: sl.horizon,
+			Done: sl.done, Progress: sl.progress, Live: sl.live,
+		})
+	}
+}
+
 // runSegment advances all shards from their common cycle by at most window
 // cycles, stopping early when the global completion predicate holds at a
-// boundary. It returns the executed cycle count and the predicate's final
-// value. Goroutines are spawned per segment and fully joined before it
-// returns; a previously poisoned runner re-raises immediately.
-func (r *Runner) runSegment(window uint64) (uint64, bool) {
+// boundary or a guard verdict fires. It returns the executed cycle count,
+// the predicate's final value, and the violation (as an error) on a
+// guarded runner. Goroutines are spawned per segment and fully joined
+// before it returns; a dead (or, unguarded, poisoned) runner fails fast.
+func (r *Runner) runSegment(window uint64) (uint64, bool, error) {
+	if r.dead != nil {
+		return 0, false, r.dead
+	}
 	if p := r.poison.Load(); p != nil {
+		// Only an unguarded runner can be poisoned without being dead:
+		// preserve the legacy re-raise contract.
 		panic(p.v)
+	}
+	if g := r.guard; g != nil && g.start.IsZero() {
+		g.start = time.Now()
 	}
 	start := r.shards[0].Engine.Cycle()
 	target := start + window
 	r.target = target
+	r.liveWorkers.Store(int32(len(r.workers)))
 	for _, w := range r.workers {
 		r.wg.Add(1)
 		go w()
 	}
 	r.runShard0(target)
-	r.wg.Wait()
-	return r.shards[0].Engine.Cycle() - start, r.allDone()
+	if err := r.joinWorkers(); err != nil {
+		// Workers may still be running: do not touch shared state beyond
+		// latching the runner dead.
+		r.dead = err
+		return r.shards[0].Engine.Cycle() - start, false, err
+	}
+	n := r.shards[0].Engine.Cycle() - start
+	if p := r.poison.Load(); p != nil {
+		if r.guard == nil {
+			panic(p.v)
+		}
+		v := p.asViolation(r.shards[0].Engine.Cycle())
+		r.attachDiag(v)
+		r.dead = v
+		return n, false, v
+	}
+	if r.gv != nil {
+		v := r.gv
+		r.gv = nil
+		r.attachDiag(v)
+		r.dead = v
+		return n, false, v
+	}
+	if g := r.guard; g != nil && g.cfg.Conservation && g.scan != nil {
+		if v := g.scan(); v != nil {
+			if v.Cycle == 0 {
+				v.Cycle = r.shards[0].Engine.Cycle()
+			}
+			r.attachDiag(v)
+			r.dead = v
+			return n, false, v
+		}
+	}
+	return n, r.allDone(), nil
 }
 
 // Run simulates until the completion predicate holds or maxCycles elapse,
 // mirroring sim.Engine.RunEvery's contract (completion is checked at every
 // window boundary; the error wraps sim.ErrMaxCycles on budget exhaustion).
+// On a guarded runner a watchdog violation is returned as the
+// *guard.Violation error itself.
 func (r *Runner) Run(maxCycles uint64) error {
-	if _, done := r.runSegment(maxCycles); !done {
+	_, done, err := r.runSegment(maxCycles)
+	if err != nil {
+		return err
+	}
+	if !done {
 		return fmt.Errorf("%w (%d cycles)", sim.ErrMaxCycles, maxCycles)
 	}
 	return nil
@@ -282,27 +649,32 @@ func (r *Runner) Run(maxCycles uint64) error {
 // Advance runs at most cycles cycles without regard for completion (the
 // segment still stops early if the workload finishes) and returns the
 // executed count. It is the benchmarking hook: steady state allocates
-// nothing, so throughput measurements see only the simulation itself.
-func (r *Runner) Advance(cycles uint64) uint64 {
-	n, _ := r.runSegment(cycles)
-	return n
+// nothing, so throughput measurements see only the simulation itself. The
+// error is non-nil only on a guarded runner whose watchdogs fired.
+func (r *Runner) Advance(cycles uint64) (uint64, error) {
+	n, _, err := r.runSegment(cycles)
+	return n, err
 }
 
 // RunPhased executes the warmup → measure → drain methodology across the
 // shards with sim.RunPhased's exact semantics: maxCycles budgets warmup
 // plus measurement, Drain has its own budget, truncation of the
 // measurement plan is an error wrapping sim.ErrMaxCycles, an incomplete
-// drain is not. Phases.Stride is ignored — the sharded completion check
-// runs at every window boundary.
+// drain is not, and a guard violation propagates immediately from any
+// phase. Phases.Stride is ignored — the sharded completion check runs at
+// every window boundary.
 func (r *Runner) RunPhased(p sim.Phases, maxCycles uint64) (sim.PhasedResult, error) {
 	var res sim.PhasedResult
 	remaining := maxCycles
 
 	if p.Warmup > 0 {
 		win := min(p.Warmup, remaining)
-		n, done := r.runSegment(win)
+		n, done, err := r.runSegment(win)
 		res.WarmupCycles = n
 		remaining -= n
+		if err != nil {
+			return res, err
+		}
 		if done {
 			res.Completed = true
 			res.CompletedIn = sim.PhaseWarmup
@@ -331,10 +703,13 @@ func (r *Runner) RunPhased(p sim.Phases, maxCycles uint64) (sim.PhasedResult, er
 			win = p.Epoch
 		}
 		start := r.Cycle()
-		n, finished := r.runSegment(win)
+		n, finished, err := r.runSegment(win)
 		remaining -= n
 		res.MeasureCycles += n
 		res.Epochs++
+		if err != nil {
+			return res, err
+		}
 		more := true
 		if p.AfterEpoch != nil {
 			more = p.AfterEpoch(epoch, start, r.Cycle())
@@ -356,8 +731,11 @@ func (r *Runner) RunPhased(p sim.Phases, maxCycles uint64) (sim.PhasedResult, er
 	}
 
 	if p.Drain > 0 {
-		n, finished := r.runSegment(p.Drain)
+		n, finished, err := r.runSegment(p.Drain)
 		res.DrainCycles = n
+		if err != nil {
+			return res, err
+		}
 		if finished {
 			res.Completed = true
 			res.CompletedIn = sim.PhaseDrain

@@ -165,6 +165,13 @@ type Engine struct {
 	// evFused mirrors devices with their TickSleeper fast path (nil where
 	// unimplemented).
 	evFused []TickSleeper
+
+	// watchdog, when set, runs at every completion-predicate evaluation
+	// point (after done() reports false); a non-nil error aborts the run.
+	// Because it runs only where the predicate runs, a watchdog that fires
+	// nothing leaves the executed cycle schedule — and the simulated state —
+	// exactly as an unguarded run's (see internal/guard).
+	watchdog func(cycle uint64) error
 }
 
 // NewEngine returns an engine using the given clock. A zero Clock means the
@@ -224,6 +231,14 @@ func (e *Engine) CanSkip() bool { return e.sleepers != nil }
 // Cycle returns the current cycle number, i.e. the number of completed
 // (executed or skipped) cycles since construction.
 func (e *Engine) Cycle() uint64 { return e.cycle }
+
+// SetWatchdog installs (or, with nil, removes) the run-loop watchdog hook.
+// The hook is invoked at completion-predicate evaluation points with the
+// current cycle; returning a non-nil error stops the run immediately with
+// that error. Run/RunEvery/RunPhased honour it; windowed sessions
+// (BeginWindowed/RunTo) do not — their caller, the shard runner, carries
+// its own guard at window boundaries.
+func (e *Engine) SetWatchdog(f func(cycle uint64) error) { e.watchdog = f }
 
 // Step advances the simulation by one cycle, ticking every device once.
 func (e *Engine) Step() {
@@ -365,6 +380,11 @@ func (e *Engine) run(maxCycles, stride uint64, done func() bool) (uint64, error)
 			if done() {
 				return e.cycle - start, nil
 			}
+			if e.watchdog != nil {
+				if err := e.watchdog(e.cycle); err != nil {
+					return e.cycle - start, err
+				}
+			}
 		}
 		if !skip {
 			continue
@@ -393,6 +413,11 @@ func (e *Engine) run(maxCycles, stride uint64, done func() bool) (uint64, error)
 				e.SkippedCycles += det - e.cycle
 				e.cycle = det
 				return e.cycle - start, nil
+			}
+			if e.watchdog != nil {
+				if err := e.watchdog(e.cycle); err != nil {
+					return e.cycle - start, err
+				}
 			}
 		}
 		if w == WakeNever {

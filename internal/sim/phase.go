@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Phase identifies one window of the phased measurement methodology: a
 // warmup window whose statistics are discarded (cold caches, empty
@@ -112,6 +115,11 @@ func (e *Engine) RunPhased(p Phases, maxCycles uint64, done func() bool) (Phased
 		n, err := e.run(win, stride, done)
 		res.WarmupCycles = n
 		remaining -= n
+		if err != nil && !errors.Is(err, ErrMaxCycles) {
+			// A watchdog violation (or any non-budget failure) is not
+			// window exhaustion: propagate it immediately.
+			return res, err
+		}
 		if err == nil {
 			res.Completed = true
 			res.CompletedIn = PhaseWarmup
@@ -145,6 +153,9 @@ func (e *Engine) RunPhased(p Phases, maxCycles uint64, done func() bool) (Phased
 		remaining -= n
 		res.MeasureCycles += n
 		res.Epochs++
+		if err != nil && !errors.Is(err, ErrMaxCycles) {
+			return res, err
+		}
 		finished := err == nil
 		more := true
 		if p.AfterEpoch != nil {
@@ -175,6 +186,9 @@ func (e *Engine) RunPhased(p Phases, maxCycles uint64, done func() bool) (Phased
 	if p.Drain > 0 {
 		n, err := e.run(p.Drain, stride, done)
 		res.DrainCycles = n
+		if err != nil && !errors.Is(err, ErrMaxCycles) {
+			return res, err
+		}
 		if err == nil {
 			res.Completed = true
 			res.CompletedIn = PhaseDrain

@@ -1,0 +1,225 @@
+package sweep
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"noctg/internal/guard"
+)
+
+// guardTestPoints is a three-seed stochastic grid on a 4x4 mesh; every
+// master targets the shared RAM, which lands on node 11 of the 4-core
+// floorplan (masters 0..3, privs 15..12, shared 11, semaphores 10).
+func guardTestPoints() []Point {
+	g := Grid{
+		Workloads: []Workload{{Kind: KindStochastic, Dist: "poisson", Cores: 4, MeanGap: 4, Count: 120}},
+		Fabrics:   []Fabric{{Interconnect: FabricXPipes, MeshWidth: 4, MeshHeight: 4}},
+		Seeds:     []int64{1, 2, 3},
+	}
+	return g.Expand()
+}
+
+const guardSharedNode = 11
+
+// TestGuardGridContinuesPastViolation: a fault plan wedges exactly one
+// point; that point is recorded as failed with the typed violation and its
+// diagnostic, and every other point completes normally — graceful
+// degradation, not a lost sweep.
+func TestGuardGridContinuesPastViolation(t *testing.T) {
+	cfg := guard.Config{NoRetireHorizon: 2000}
+	r := Runner{
+		Workers: 2,
+		Guard:   &cfg,
+		Faults: func(p Point) *guard.FaultPlan {
+			if p.Seed != 1 {
+				return nil
+			}
+			return &guard.FaultPlan{SlaveFreezes: []guard.SlaveFreeze{
+				{Node: guardSharedNode, From: 0, To: 1 << 62}}}
+		},
+	}
+	results, err := r.Run(guardTestPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	bad := results[0]
+	if bad.Err == "" || bad.Violation == nil {
+		t.Fatalf("wedged point not recorded as a violation: %+v", bad)
+	}
+	if bad.Violation.Kind != guard.KindDeadlock {
+		t.Fatalf("wedged point violation kind %s, want %s", bad.Violation.Kind, guard.KindDeadlock)
+	}
+	if bad.Violation.Diag == nil {
+		t.Fatal("wedged point violation carries no diagnostic")
+	}
+	for _, res := range results[1:] {
+		if res.Err != "" || res.Violation != nil {
+			t.Fatalf("healthy point %d failed: %q", res.ID, res.Err)
+		}
+		if res.MakespanCycles == 0 {
+			t.Fatalf("healthy point %d did not run", res.ID)
+		}
+	}
+}
+
+// TestGuardViolationArtifactDeterministic: the partial artifact of a
+// violating sweep — failed point, diagnostic dump and all — is
+// byte-identical across runs and worker counts. A violation is data, not
+// nondeterminism (panic stacks are excluded from JSON for exactly this
+// reason).
+func TestGuardViolationArtifactDeterministic(t *testing.T) {
+	run := func(workers int) []byte {
+		cfg := guard.Config{NoRetireHorizon: 2000}
+		r := Runner{
+			Workers: workers,
+			Guard:   &cfg,
+			Faults: func(p Point) *guard.FaultPlan {
+				if p.Seed != 2 {
+					return nil
+				}
+				return &guard.FaultPlan{LinkStalls: []guard.LinkStall{
+					{Node: 0, Dir: "e", From: 0, To: 1 << 62}}}
+			},
+		}
+		results, err := r.Run(guardTestPoints())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, results); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(1), run(3)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("violating artifact differs across runs/workers:\n%s\nvs\n%s", a, b)
+	}
+	if !bytes.Contains(a, []byte(`"violation"`)) || !bytes.Contains(a, []byte(`"diag"`)) {
+		t.Fatalf("artifact lacks the structured violation: %s", a)
+	}
+}
+
+// TestGuardFaultFreeArtifactsIdentical: arming the full watchdog set on a
+// healthy sweep changes nothing — JSON and CSV artifacts are byte-identical
+// to the unguarded run's.
+func TestGuardFaultFreeArtifactsIdentical(t *testing.T) {
+	render := func(gcfg *guard.Config) (string, string) {
+		results, err := Runner{Workers: 2, Guard: gcfg}.Run(guardTestPoints())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, c bytes.Buffer
+		if err := WriteJSON(&j, results); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&c, results); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	dflt := guard.Default()
+	plainJSON, plainCSV := render(nil)
+	guardJSON, guardCSV := render(&dflt)
+	if plainJSON != guardJSON {
+		t.Fatalf("guarded JSON artifact diverged:\n%s\nvs\n%s", guardJSON, plainJSON)
+	}
+	if plainCSV != guardCSV {
+		t.Fatal("guarded CSV artifact diverged")
+	}
+}
+
+// TestGuardInvalidFaultPlanRecorded: a fault plan the platform rejects
+// (missing link) fails that point cleanly and leaves the rest of the grid
+// running.
+func TestGuardInvalidFaultPlanRecorded(t *testing.T) {
+	cfg := guard.Default()
+	r := Runner{
+		Workers: 2,
+		Guard:   &cfg,
+		Faults: func(p Point) *guard.FaultPlan {
+			if p.Seed != 3 {
+				return nil
+			}
+			// Node 0 sits on the mesh corner: no north link exists.
+			return &guard.FaultPlan{LinkStalls: []guard.LinkStall{{Node: 0, Dir: "n", From: 0, To: 100}}}
+		},
+	}
+	results, err := r.Run(guardTestPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[2].Err == "" || !strings.Contains(results[2].Err, "missing link") {
+		t.Fatalf("rejected plan not recorded: %q", results[2].Err)
+	}
+	if results[0].Err != "" || results[1].Err != "" {
+		t.Fatalf("healthy points failed: %q, %q", results[0].Err, results[1].Err)
+	}
+}
+
+// TestParseGridRejects: malformed or hostile grid files come back as
+// errors — bad JSON, typoed fields, over-limit axes — never panics or
+// silently shrunk grids.
+func TestParseGridRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"not json", "workloads: none"},
+		{"unknown field", `{"workloads":[{"kind":"stochastic","dist":"uniform","cores":2}],` +
+			`"fabrics":[{"interconnect":"amba"}],"bandwidth":9}`},
+		{"no fabrics", `{"workloads":[{"kind":"stochastic","dist":"uniform","cores":2}]}`},
+		{"over-limit shards", `{"workloads":[{"kind":"stochastic","dist":"uniform","cores":2}],` +
+			`"fabrics":[{"interconnect":"amba"}],"shards":65}`},
+		{"negative shards", `{"workloads":[{"kind":"stochastic","dist":"uniform","cores":2}],` +
+			`"fabrics":[{"interconnect":"amba"}],"shards":-1}`},
+		{"over-limit pattern grid", `{"workloads":[{"kind":"stochastic","dist":"uniform",` +
+			`"cores":16777216,"pattern":"uniform","pattern_w":4096,"pattern_h":4096}],` +
+			`"fabrics":[{"interconnect":"amba"}]}`},
+		{"pattern without grid", `{"workloads":[{"kind":"stochastic","dist":"uniform",` +
+			`"cores":4,"pattern_w":2,"pattern_h":2}],"fabrics":[{"interconnect":"amba"}]}`},
+		{"zero clock", `{"workloads":[{"kind":"stochastic","dist":"uniform","cores":2}],` +
+			`"fabrics":[{"interconnect":"amba"}],"clock_periods_ns":[0]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseGrid(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: ParseGrid accepted %q", tc.name, tc.src)
+		}
+	}
+}
+
+// TestRunnerRejectsOverLimitShards: the runner-level override is bounded
+// like the grid axis.
+func TestRunnerRejectsOverLimitShards(t *testing.T) {
+	if _, err := (Runner{Shards: MaxShards + 1}).Run(guardTestPoints()); err == nil {
+		t.Fatal("over-limit runner shards accepted")
+	}
+	pts := guardTestPoints()
+	pts[0].Shards = -2
+	if _, err := (Runner{}).Run(pts); err == nil {
+		t.Fatal("negative point shards accepted")
+	}
+}
+
+// TestWriteArtifactsUnwritable: filesystem failures writing artifacts are
+// errors, not panics, for results and curves alike.
+func TestWriteArtifactsUnwritable(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "no", "such", "dir", "results")
+	if err := WriteArtifacts(base, []Result{{ID: 1}}); err == nil {
+		t.Fatal("WriteArtifacts into a missing directory succeeded")
+	}
+	if err := WriteCurveArtifacts(base, []Curve{{Name: "c"}}); err == nil {
+		t.Fatal("WriteCurveArtifacts into a missing directory succeeded")
+	}
+	// The happy path round-trips.
+	ok := filepath.Join(t.TempDir(), "results")
+	if err := WriteArtifacts(ok, []Result{{ID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"io"
+	"os"
 	"strconv"
 )
 
@@ -18,6 +19,42 @@ func writeJSON(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
+}
+
+// WriteArtifacts writes the result set to <base>.json and <base>.csv. Any
+// filesystem failure — an unwritable or missing output directory, a full
+// disk — comes back as an error, never a panic, and whatever was written
+// before the failure is left in place for inspection.
+func WriteArtifacts(base string, results []Result) error {
+	return writePair(base, func(w io.Writer) error { return WriteJSON(w, results) },
+		func(w io.Writer) error { return WriteCSV(w, results) })
+}
+
+// WriteCurveArtifacts writes load-latency curves to <base>.json and
+// <base>.csv with WriteArtifacts' error semantics.
+func WriteCurveArtifacts(base string, curves []Curve) error {
+	return writePair(base, func(w io.Writer) error { return WriteCurvesJSON(w, curves) },
+		func(w io.Writer) error { return WriteCurvesCSV(w, curves) })
+}
+
+// writePair creates <base>.json and <base>.csv and streams one renderer
+// into each.
+func writePair(base string, renderJSON, renderCSV func(io.Writer) error) error {
+	write := func(path string, render func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(base+".json", renderJSON); err != nil {
+		return err
+	}
+	return write(base+".csv", renderCSV)
 }
 
 // csvHeader is the fixed column set of WriteCSV.

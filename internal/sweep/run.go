@@ -2,10 +2,12 @@ package sweep
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"noctg/internal/core"
 	"noctg/internal/exp"
+	"noctg/internal/guard"
 	"noctg/internal/layout"
 	"noctg/internal/noc"
 	"noctg/internal/ocp"
@@ -25,6 +27,11 @@ type Result struct {
 	ClockPeriodNS uint64 `json:"clock_period_ns"`
 	Seed          int64  `json:"seed"`
 	Err           string `json:"err,omitempty"`
+	// Violation carries the structured guard diagnostic when the failure
+	// was a watchdog violation or a recovered panic; Err holds the flat
+	// message either way. Fault-free points omit it, so guarded fault-free
+	// artifacts stay byte-identical to unguarded ones.
+	Violation *guard.Violation `json:"violation,omitempty"`
 
 	// MakespanCycles is the latest master completion cycle; MakespanNS is
 	// the same through the point's clock.
@@ -72,6 +79,16 @@ type Runner struct {
 	// matrix pins this), though sharded runs form their own determinism
 	// class versus legacy single-engine runs.
 	Shards int
+	// Guard arms the guard watchdogs (see internal/guard) on every point's
+	// platform. Fault-free guarded points produce byte-identical artifacts
+	// to unguarded ones; a violating or budget-exceeded point is recorded
+	// as a failed Result (Err + Violation) and the rest of the grid
+	// completes.
+	Guard *guard.Config
+	// Faults derives an optional deterministic fault plan per point (test
+	// stimulus for the guard watchdogs); nil — or a nil/empty return —
+	// injects nothing.
+	Faults func(Point) *guard.FaultPlan
 }
 
 const stochasticMaxCycles = 2_000_000
@@ -190,7 +207,12 @@ func (r Runner) RunGrid(g Grid) ([]Result, error) {
 func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) {
 	defer func() {
 		if rec := recover(); rec != nil {
+			// Keep the point's identity fields: a panic mid-build must still
+			// say which configuration blew up.
 			res.Err = fmt.Sprintf("panic: %v", rec)
+			res.Violation = &guard.Violation{Kind: guard.KindPanic, Shard: -1,
+				Msg:   fmt.Sprintf("point %s: %v", p.Label(), rec),
+				Stack: string(debug.Stack())}
 		}
 	}()
 	res = Result{
@@ -266,17 +288,28 @@ func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) 
 	if r.MaxCycles > 0 {
 		maxCycles = r.MaxCycles
 	}
+	if r.Guard != nil {
+		sys.EnableGuard(*r.Guard)
+	}
+	if r.Faults != nil {
+		if plan := r.Faults(p); plan != nil && !plan.Empty() {
+			if err := sys.InjectFaults(*plan); err != nil {
+				res.Err = err.Error()
+				return res
+			}
+		}
+	}
 
 	if p.Measure != nil {
 		if err := runPhased(sys, *p.Measure, maxCycles, &res); err != nil {
-			res.Err = err.Error()
+			recordFailure(&res, err)
 		}
 		return res
 	}
 
 	makespan, err := sys.Run(maxCycles)
 	if err != nil {
-		res.Err = err.Error()
+		recordFailure(&res, err)
 		return res
 	}
 	res.MakespanCycles = makespan
@@ -304,4 +337,13 @@ func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) 
 		res.BusBusyCycles = sys.Bus.BusyCycles()
 	}
 	return res
+}
+
+// recordFailure records a run error on the result, preserving the typed
+// guard violation (with its diagnostic dump) when the error carries one.
+func recordFailure(res *Result, err error) {
+	res.Err = err.Error()
+	if v, ok := guard.AsViolation(err); ok {
+		res.Violation = v
+	}
 }
