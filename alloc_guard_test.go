@@ -112,6 +112,27 @@ func TestZeroAllocPhasedTransactionPath(t *testing.T) {
 	}
 }
 
+// TestZeroAllocBurstyInjection guards the arrival-process injection hot
+// path: the MMPP and self-similar state machines and the priority class
+// draw run per injection, so any allocation there scales with offered
+// load. All state (Pareto station arrays, class cumulative weights) is
+// preallocated at construction; steady state must be exactly
+// allocation-free under every arrival model.
+func TestZeroAllocBurstyInjection(t *testing.T) {
+	for name, cfg := range burstyArrivalConfigs() {
+		g := burstyGenerator(cfg)
+		e := sim.NewEngine(sim.Clock{})
+		e.Add(g)
+		e.RunFor(10_000) // warm the arrival state and scratch buffers
+		if avg := testing.AllocsPerRun(10, func() { e.RunFor(10_000) }); avg != 0 {
+			t.Errorf("%s: injection hot path allocates %.2f allocs per 10k cycles", name, avg)
+		}
+		if g.Issued() == 0 {
+			t.Fatalf("%s: generator injected nothing", name)
+		}
+	}
+}
+
 func TestZeroAllocEventKernelMixedLoad(t *testing.T) {
 	// The event kernel's whole run loop — wake heap, active-list sweeps,
 	// wake hooks, cycle jumps — must stay allocation-free in steady state

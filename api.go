@@ -18,6 +18,7 @@ import (
 	"noctg/internal/stochastic"
 	"noctg/internal/sweep"
 	"noctg/internal/trace"
+	"noctg/internal/valid"
 )
 
 // Core simulation types.
@@ -148,6 +149,12 @@ type (
 	Spatial = stochastic.Spatial
 	// SpatialSampler is a compiled spatial pattern (per-draw destinations).
 	SpatialSampler = stochastic.Sampler
+	// MMPPConfig is the Markov-modulated (on/off burst chain) arrival
+	// process: per-state mean gaps with exponential or deterministic dwells.
+	MMPPConfig = stochastic.MMPP
+	// SelfSimilarConfig is the superposed Pareto on/off arrival process
+	// with a configurable target Hurst exponent.
+	SelfSimilarConfig = stochastic.SelfSimilar
 	// NoCTopology selects the ×pipes link structure (mesh or torus).
 	NoCTopology = noc.Topology
 )
@@ -293,6 +300,9 @@ type (
 	SweepGrid = sweep.Grid
 	// SweepWorkload names one traffic source of a grid.
 	SweepWorkload = sweep.Workload
+	// SweepArrival selects an arrival process (MMPP or self-similar) as a
+	// workload's temporal axis, replacing dist/mean_gap.
+	SweepArrival = sweep.Arrival
 	// SweepFabric names one interconnect configuration of a grid.
 	SweepFabric = sweep.Fabric
 	// SweepPoint is one fully-specified grid configuration.
@@ -336,6 +346,43 @@ type (
 	StatsRegistry = sim.Registry
 	// StatsCounter is a zero-allocation registry-resettable counter.
 	StatsCounter = sim.Counter
+)
+
+// Generator-validation types (the fidelity harness: open-loop source
+// capture checked against analytic arrival-process expectations).
+type (
+	// ValidationSource pairs a stochastic generator configuration with its
+	// analytic expectations (rate, gap CDF, IDC band, Hurst band, class
+	// shares).
+	ValidationSource = valid.Source
+	// ValidationCheck is one fidelity assertion of a report.
+	ValidationCheck = valid.Check
+	// ValidationSourceReport is one source's fidelity result.
+	ValidationSourceReport = valid.SourceReport
+	// ValidationReport is the full deterministic fidelity report
+	// (byte-identical across kernels and worker counts).
+	ValidationReport = valid.Report
+)
+
+// Generator-validation entry points.
+var (
+	// StockValidationSources returns the CI fidelity suite: one source per
+	// arrival model with tuned analytic bands.
+	StockValidationSources = valid.StockSources
+	// ValidateSources runs sources through the open-loop harness over a
+	// worker pool and aggregates the fidelity report.
+	ValidateSources = valid.Validate
+	// CheckValidationSource captures and checks a single source.
+	CheckValidationSource = valid.CheckSource
+	// ValidationSourceFromPoint derives a validation source (with every
+	// analytic expectation the configuration supports) from a sweep point.
+	ValidationSourceFromPoint = valid.FromPoint
+	// BurstyGrid returns the stock bursty/self-similar/priority sweep grid
+	// pinned by the golden and differential matrices.
+	BurstyGrid = sweep.BurstyGrid
+	// TQuantile returns the two-sided 95% Student-t quantile used by the
+	// adaptive sweep stop rule and the offered-load CI check.
+	TQuantile = sweep.TQuantile
 )
 
 // Guard types (the hardening layer: invariant watchdogs, structured

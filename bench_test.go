@@ -1000,6 +1000,67 @@ func (idlePort) TryRequest(*ocp.Request) bool        { return false }
 func (idlePort) TakeResponse() (*ocp.Response, bool) { return nil, false }
 func (idlePort) Busy() bool                          { return false }
 
+// sinkPort accepts every request without touching it: the open-loop
+// counterpart of idlePort, for driving generators at full rate with zero
+// port-side allocation.
+type sinkPort struct{}
+
+func (sinkPort) TryRequest(*ocp.Request) bool        { return true }
+func (sinkPort) TakeResponse() (*ocp.Response, bool) { return nil, false }
+func (sinkPort) Busy() bool                          { return false }
+
+// burstyGenerator builds one arrival-process generator injecting
+// open-loop into a sinkPort: posted writes only, an effectively unbounded
+// transaction budget, and the arrival model under test. Shared between
+// BenchmarkBurstyInjection and the zero-alloc injection guard.
+func burstyGenerator(cfg stochastic.Config) *stochastic.Generator {
+	cfg.ReadFraction = -1 // posted writes: the injection path alone
+	cfg.Count = 1 << 30
+	cfg.Ranges = []ocp.AddrRange{{Base: 0, Size: 0x1000}}
+	return stochastic.New(0, cfg, sinkPort{})
+}
+
+// burstyArrivalConfigs are the arrival models the injection benchmark and
+// alloc guard sweep: the MMPP on/off chain, the superposed-Pareto
+// self-similar source, and a priority-classed Poisson baseline.
+func burstyArrivalConfigs() map[string]stochastic.Config {
+	return map[string]stochastic.Config{
+		"mmpp": {Seed: 1, MMPP: &stochastic.MMPP{
+			StateGaps: []float64{3, 0}, StateDwells: []float64{80, 160}}},
+		"selfsim": {Seed: 2, SelfSimilar: &stochastic.SelfSimilar{
+			Sources: 16, Hurst: 0.8, OnMean: 50, OffMean: 100, PeakGap: 4}},
+		"priority": {Seed: 3, Dist: stochastic.Poisson, MeanGap: 4,
+			Classes: []float64{0.5, 0.3, 0.2}},
+	}
+}
+
+// BenchmarkBurstyInjection measures the arrival-process injection hot
+// path: one generator per model running open-loop against an
+// instantly-accepting port. The Msimcycles/s metric tracks the per-cycle
+// cost of the arrival state machines; allocs/op must stay at zero.
+func BenchmarkBurstyInjection(b *testing.B) {
+	for _, name := range []string{"mmpp", "selfsim", "priority"} {
+		cfg := burstyArrivalConfigs()[name]
+		b.Run(name, func(b *testing.B) {
+			const span = 100_000
+			g := burstyGenerator(cfg)
+			e := sim.NewEngine(sim.Clock{})
+			e.Add(g)
+			e.RunFor(span) // warm the arrival state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.RunFor(span)
+			}
+			b.StopTimer()
+			reportSimSpeed(b, span)
+			if g.Issued() == 0 {
+				b.Fatal("generator injected nothing")
+			}
+		})
+	}
+}
+
 func newBenchRAM(b *testing.B, bus *amba.Bus) *benchRAM {
 	b.Helper()
 	r := &benchRAM{}

@@ -11,6 +11,7 @@
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //	tgsweep -scenario FILE|library # run declarative traffic scenarios
 //	tgsweep -scenario FILE|library -curve # load-latency curves per scenario
+//	tgsweep -validate [-scenario FILE|library] # generator fidelity report
 //	tgsweep -print-scenarios       # dump the scenario library as a template
 //	tgsweep -print-grid            # dump the default grid as a template
 //	tgsweep -paper [-sizes quick|default] [-workers N]
@@ -29,6 +30,14 @@
 // swept over its curve_gaps axis (or the stock ladder) and measured with
 // the phased methodology at every level; the artifacts are load-latency
 // curves with the detected saturation point per scenario.
+//
+// With -validate, no simulation sweep runs: instead each stochastic
+// traffic source executes open-loop against the generator-validation
+// harness (internal/valid) and the fidelity report — offered load vs. the
+// analytic rate, inter-injection CDFs, index of dispersion, Hurst
+// estimates, class shares — lands in <out>.json. The default suite is the
+// stock source set; with -scenario, sources derive from the scenario
+// file's stochastic workloads. A failed fidelity check exits nonzero.
 //
 // With -paper, the paper's full evaluation (Table 2, the cross-interconnect
 // .tgp check, the overhead measurement, the ablations and the Figure 2
@@ -80,6 +89,7 @@ func main() {
 		printScen  = flag.Bool("print-scenarios", false, "print the scenario library JSON and exit")
 		curve      = flag.Bool("curve", false, "sweep injection load per scenario and emit load-latency curves (requires -scenario)")
 		paper      = flag.Bool("paper", false, "run the paper's experiments as one parallel invocation")
+		validate   = flag.Bool("validate", false, "run the generator-validation harness and write a fidelity report instead of sweeping")
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes for -paper: quick or default")
 		kernelFlag = flag.String("kernel", "auto", "simulation kernel: auto (event for replay), strict, skip or event")
 		shards     = flag.Int("shards", 0, "shard every ×pipes simulation across N engine goroutines (0 = legacy single engine)")
@@ -113,6 +123,10 @@ func main() {
 	}
 	if *paper {
 		runPaper(*sizesFlag, *workers, kernel, *shards)
+		return
+	}
+	if *validate {
+		runValidate(*scenPath, *workers, *kernelFlag, *out)
 		return
 	}
 

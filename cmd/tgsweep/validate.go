@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"noctg/internal/scenario"
+	"noctg/internal/sim"
+	"noctg/internal/valid"
+)
+
+// validateKernel maps the -kernel flag onto a concrete simulation kernel
+// for open-loop validation runs. The fidelity report is byte-identical for
+// every choice (the harness pins all kernels to the same cycle schedule),
+// so "auto" simply takes the event kernel like replay runs do.
+func validateKernel(flag string) sim.Kernel {
+	switch flag {
+	case "strict":
+		return sim.KernelStrict
+	case "skip":
+		return sim.KernelSkip
+	}
+	return sim.KernelEvent
+}
+
+// runValidate executes the generator-validation harness: the stock
+// fidelity suite by default, or sources derived from a scenario file's
+// stochastic workloads with -scenario. The report lands in <out>.json (or
+// on stdout with "-"); any failed fidelity check exits nonzero.
+func runValidate(scenPath string, workers int, kernelFlag, out string) {
+	kernel := validateKernel(kernelFlag)
+	sources := valid.StockSources()
+	if scenPath != "" {
+		specs := scenario.Library()
+		if scenPath != "library" {
+			f, err := os.Open(scenPath)
+			fail(err)
+			specs, err = scenario.Parse(f)
+			f.Close()
+			fail(err)
+		}
+		pts, err := scenario.Points(specs)
+		fail(err)
+		sources = sources[:0]
+		seen := map[string]bool{}
+		skipped := 0
+		for _, p := range pts {
+			s, ok := valid.FromPoint(p)
+			if !ok {
+				skipped++
+				continue
+			}
+			if seen[s.Name] {
+				continue // same workload on another fabric: same open-loop source
+			}
+			seen[s.Name] = true
+			sources = append(sources, s)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "tgsweep: %d points have no analytic spec, skipped\n", skipped)
+		}
+		if len(sources) == 0 {
+			fail(fmt.Errorf("no validatable stochastic workloads in %s", scenPath))
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "tgsweep: validating %d sources, %d workers, %v kernel\n",
+		len(sources), workers, kernel)
+	start := time.Now()
+	rep := valid.Validate(sources, kernel, workers)
+	checks := 0
+	for _, s := range rep.Sources {
+		checks += len(s.Checks)
+		for _, c := range s.Checks {
+			if !c.Pass {
+				fmt.Fprintf(os.Stderr, "tgsweep: FAIL %s %s: %g outside [%g, %g]\n",
+					s.Source, c.Name, c.Value, c.Low, c.High)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tgsweep: %d fidelity checks in %v\n",
+		checks, time.Since(start).Round(time.Millisecond))
+
+	if out == "-" {
+		fail(rep.WriteJSON(os.Stdout))
+	} else {
+		f, err := os.Create(out + ".json")
+		fail(err)
+		err = rep.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fail(err)
+		fmt.Fprintf(os.Stderr, "tgsweep: wrote %s.json\n", out)
+	}
+	if !rep.Pass {
+		fmt.Fprintln(os.Stderr, "tgsweep: generator validation FAILED")
+		os.Exit(1)
+	}
+}

@@ -60,6 +60,41 @@
 // dimension-ordered routing and dateline virtual channels for ring
 // deadlock freedom.
 //
+// # Arrival processes and generator validation
+//
+// Beyond the i.i.d. gap distributions (Dist), a stochastic workload can
+// carry a stateful arrival process as its temporal model: an MMPPConfig —
+// a cyclic Markov chain of states, each with its own mean gap (0 = silent)
+// and exponential or deterministic dwell time, the classic on/off burst
+// model — or a SelfSimilarConfig, which superposes Pareto on/off stations
+// (shape α = 3 − 2H) into long-range-dependent traffic with a target Hurst
+// exponent. Orthogonally, Classes weights draw a per-transaction message
+// class: the request carries the tag, fabrics forward it untouched and
+// arbitrate class-blind, and completed transactions are counted per class.
+//
+// Arrival-process semantics worth knowing: processes evolve on an exact
+// float64 virtual clock and discretize by flooring event epochs, so
+// rounding errors telescope instead of accumulating — a continuous process
+// of rate λ injects at exactly λ/(1+λ) transactions per cycle once the
+// one-cycle acceptance handshake is counted. Draws come from the
+// generator's seeded stream only (determinism class: same seed, same
+// schedule, on every kernel and shard count), and classless configurations
+// consume the exact legacy stream, so adding the feature changed no
+// golden artifact. In grids and scenarios the process rides the "arrival"
+// axis (mutually exclusive with dist/mean_gap, and without a mean-gap load
+// axis: the load lives in the process parameters).
+//
+// The generator-validation harness (internal/valid, tgsweep -validate)
+// keeps these models honest: every source runs open-loop against an
+// instantly-accepting capture port and its stream is checked against
+// analytic expectations — offered load within the 95% Student-t CI of the
+// spec rate, inter-injection times against exact discretized CDFs
+// (Kolmogorov–Smirnov), index of dispersion against the finite-window
+// MMPP variance-time curve, aggregate-variance Hurst estimates, and χ²
+// class shares. The fidelity report (ValidationReport JSON) is
+// byte-identical across kernels and worker counts, so the whole suite
+// runs as deterministic CI tests rather than flaky statistics.
+//
 // # Simulation kernels
 //
 // Three cycle-advance strategies drive every platform

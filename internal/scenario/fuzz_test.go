@@ -20,6 +20,19 @@ func FuzzParse(f *testing.F) {
 	f.Add(`{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","hotspot":[0.1]}`)
 	f.Add(`[{},{},{}]`)
 	f.Add(`{"name":"x"`)
+	// Arrival-axis corpus: valid MMPP, valid self-similar, and malformed
+	// variants (typo'd key, conflicting load axis, out-of-range Hurst,
+	// NaN-shaped numbers, oversized chains).
+	f.Add(`{"name":"b","fabric":"amba","width":2,"height":2,"pattern":"uniform","arrival":{"process":"mmpp","gaps":[3,0],"dwells":[80,160]}}`)
+	f.Add(`{"name":"b","fabric":"amba","width":2,"height":2,"pattern":"uniform","arrival":{"process":"mmpp","gaps":[4,16],"dwells":[100,200],"dwell_dist":"det"}}`)
+	f.Add(`{"name":"s","fabric":"xpipes","width":2,"height":2,"pattern":"uniform","arrival":{"process":"selfsim","sources":8,"hurst":0.8,"on_mean":50,"off_mean":100,"peak_gap":4}}`)
+	f.Add(`{"name":"p","fabric":"amba","width":2,"height":2,"pattern":"transpose","classes":[0.5,0.3,0.2]}`)
+	f.Add(`{"name":"x","fabric":"amba","width":2,"height":2,"pattern":"uniform","arival":{"process":"mmpp"}}`)
+	f.Add(`{"name":"x","fabric":"amba","width":2,"height":2,"pattern":"uniform","mean_gaps":[8],"arrival":{"process":"mmpp","gaps":[3,0],"dwells":[80,160]}}`)
+	f.Add(`{"name":"x","fabric":"amba","width":2,"height":2,"pattern":"uniform","arrival":{"process":"selfsim","sources":8,"hurst":1.5,"on_mean":50,"off_mean":100,"peak_gap":4}}`)
+	f.Add(`{"name":"x","fabric":"amba","width":2,"height":2,"pattern":"uniform","arrival":{"process":"mmpp","gaps":[1e308,0],"dwells":[80,1e-9]}}`)
+	f.Add(`{"name":"x","fabric":"amba","width":2,"height":2,"pattern":"uniform","arrival":{"process":"mmpp","gaps":[1,2,3,4,5,6,7,8,9],"dwells":[1,2,3,4,5,6,7,8,9]}}`)
+	f.Add(`{"name":"x","fabric":"amba","width":2,"height":2,"pattern":"uniform","classes":[1e308,1e308]}`)
 	f.Fuzz(func(t *testing.T, src string) {
 		specs, err := Parse(strings.NewReader(src))
 		if err != nil {

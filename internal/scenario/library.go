@@ -1,6 +1,10 @@
 package scenario
 
-import "fmt"
+import (
+	"fmt"
+
+	"noctg/internal/sweep"
+)
 
 // Library returns the stock scenario set: every spatial pattern on a 2×2
 // logical core grid (square and power-of-two, so all six patterns are
@@ -48,6 +52,44 @@ func Library() []Spec {
 		MeanGaps: []float64{12, 4},
 		Count:    300,
 	})
+	// The arrival-process band: an on/off MMPP burst aimed at a hotspot,
+	// a self-similar uniform-random load, and a priority-tagged Poisson
+	// load. Arrival scenarios carry no mean-gap axis (one point each);
+	// the priority scenario keeps the classic two-load axis.
+	specs = append(specs,
+		Spec{
+			Name:   "bursty-hotspot-mesh",
+			Fabric: "xpipes",
+			Width:  2, Height: 2,
+			MeshWidth: 4, MeshHeight: 3,
+			Pattern: "hotspot",
+			Hotspot: []float64{0, 0, 0.6},
+			Arrival: &sweep.Arrival{Process: sweep.ProcessMMPP,
+				Gaps: []float64{3, 0}, Dwells: []float64{80, 160}},
+			Count: 300,
+		},
+		Spec{
+			Name:   "selfsim-uniform-mesh",
+			Fabric: "xpipes",
+			Width:  2, Height: 2,
+			MeshWidth: 4, MeshHeight: 3,
+			Pattern: "uniform",
+			Arrival: &sweep.Arrival{Process: sweep.ProcessSelfSimilar,
+				Sources: 8, Hurst: 0.8, OnMean: 50, OffMean: 100, PeakGap: 4},
+			Count: 300,
+		},
+		Spec{
+			Name:   "priority-transpose-mesh",
+			Fabric: "xpipes",
+			Width:  2, Height: 2,
+			MeshWidth: 4, MeshHeight: 3,
+			Pattern:  "transpose",
+			Dist:     "poisson",
+			Classes:  []float64{0.5, 0.3, 0.2},
+			MeanGaps: []float64{12, 4},
+			Count:    300,
+		},
+	)
 	return specs
 }
 

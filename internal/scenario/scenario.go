@@ -56,8 +56,17 @@ type Spec struct {
 	// AllowSelf permits a randomized pattern to target its own node.
 	AllowSelf bool `json:"allow_self,omitempty"`
 	// Dist is the injection (inter-arrival) distribution: uniform,
-	// gaussian, poisson or bursty. Default poisson.
+	// gaussian, poisson or bursty. Default poisson. Mutually exclusive
+	// with Arrival.
 	Dist string `json:"dist,omitempty"`
+	// Arrival selects a bursty (MMPP) or self-similar arrival process
+	// instead of Dist. The offered load then lives in the process
+	// parameters, so the mean_gaps and curve_gaps load axes must be
+	// empty.
+	Arrival *sweep.Arrival `json:"arrival,omitempty"`
+	// Classes are relative per-message-class injection weights (priority
+	// traffic; see stochastic.Config.Classes).
+	Classes []float64 `json:"classes,omitempty"`
 	// MeanGaps is the load axis: one grid point per mean
 	// inter-transaction gap in cycles (smaller gap = higher load).
 	MeanGaps []float64 `json:"mean_gaps,omitempty"`
@@ -93,8 +102,13 @@ type Spec struct {
 	CurveGaps []float64 `json:"curve_gaps,omitempty"`
 }
 
-// withDefaults resolves the optional fields.
+// withDefaults resolves the optional fields. An arrival-process scenario
+// keeps Dist and MeanGaps empty: its load lives in the process parameters
+// and defaulting either would silently contradict the declared model.
 func (s Spec) withDefaults() Spec {
+	if s.Arrival != nil {
+		return s
+	}
 	if s.Dist == "" {
 		s.Dist = "poisson"
 	}
@@ -104,23 +118,31 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
-// workloads expands the load axis into sweep workloads.
+// workloads expands the load axis into sweep workloads. An
+// arrival-process scenario has no mean-gap axis and expands to exactly
+// one workload.
 func (s Spec) workloads() []sweep.Workload {
 	s = s.withDefaults()
+	base := sweep.Workload{
+		Kind:      sweep.KindStochastic,
+		Dist:      s.Dist,
+		Cores:     s.Width * s.Height,
+		Count:     s.Count,
+		Pattern:   s.Pattern,
+		PatternW:  s.Width,
+		PatternH:  s.Height,
+		Hotspot:   s.Hotspot,
+		AllowSelf: s.AllowSelf,
+		Arrival:   s.Arrival,
+		Classes:   s.Classes,
+	}
+	if s.Arrival != nil {
+		return []sweep.Workload{base}
+	}
 	ws := make([]sweep.Workload, len(s.MeanGaps))
 	for i, gap := range s.MeanGaps {
-		ws[i] = sweep.Workload{
-			Kind:      sweep.KindStochastic,
-			Dist:      s.Dist,
-			Cores:     s.Width * s.Height,
-			MeanGap:   gap,
-			Count:     s.Count,
-			Pattern:   s.Pattern,
-			PatternW:  s.Width,
-			PatternH:  s.Height,
-			Hotspot:   s.Hotspot,
-			AllowSelf: s.AllowSelf,
-		}
+		ws[i] = base
+		ws[i].MeanGap = gap
 	}
 	return ws
 }
@@ -223,6 +245,14 @@ func (s Spec) Validate() error {
 	if s.Count < 0 || s.Count > maxCount {
 		return fmt.Errorf("scenario %q: count %d outside [0, %d]", s.Name, s.Count, maxCount)
 	}
+	if s.Arrival != nil {
+		if s.Dist != "" {
+			return fmt.Errorf("scenario %q: arrival and dist are mutually exclusive", s.Name)
+		}
+		if len(s.MeanGaps) != 0 || len(s.CurveGaps) != 0 {
+			return fmt.Errorf("scenario %q: arrival-process scenarios have no mean-gap load axis (the load lives in the process parameters)", s.Name)
+		}
+	}
 	for i, gap := range d.MeanGaps {
 		// The generator treats gap <= 0 as "use the default", which would
 		// silently change the declared load; demand explicit sane loads.
@@ -269,6 +299,9 @@ var DefaultCurveMeasure = sweep.Measure{
 func (s Spec) Curve() (sweep.CurveSpec, error) {
 	if err := s.Validate(); err != nil {
 		return sweep.CurveSpec{}, err
+	}
+	if s.Arrival != nil {
+		return sweep.CurveSpec{}, fmt.Errorf("scenario %q: curve runs sweep mean_gap, which arrival-process scenarios don't use", s.Name)
 	}
 	m := DefaultCurveMeasure
 	if sm := s.Measure(); sm != nil {

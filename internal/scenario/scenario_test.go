@@ -66,6 +66,27 @@ func TestParseRejects(t *testing.T) {
 		{"huge count", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","count":99999999999}`},
 		{"missing name", `{"fabric":"amba","width":2,"height":1,"pattern":"uniform"}`},
 		{"trailing garbage", validSpecJSON() + "tail"},
+		// The strict decoder must catch every misspelled top-level key —
+		// a typo'd arrival axis silently running the Poisson default
+		// would invalidate a whole study.
+		{"typo arival", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","arival":{"process":"mmpp"}}`},
+		{"typo clases", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","clases":[1,2]}`},
+		{"typo patern", `{"name":"x","fabric":"amba","width":2,"height":1,"patern":"uniform"}`},
+		{"typo mean_gap", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","mean_gap":[8]}`},
+		{"typo disto", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","disto":"poisson"}`},
+		{"unknown arrival process", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","arrival":{"process":"weibull"}}`},
+		{"unknown arrival subfield", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","arrival":{"process":"mmpp","gapz":[3,0]}}`},
+		{"arrival with dist", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","dist":"poisson","arrival":{"process":"mmpp","gaps":[3,0],"dwells":[80,160]}}`},
+		{"arrival with mean_gaps", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","mean_gaps":[8],"arrival":{"process":"mmpp","gaps":[3,0],"dwells":[80,160]}}`},
+		{"arrival with curve_gaps", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","curve_gaps":[8],"arrival":{"process":"mmpp","gaps":[3,0],"dwells":[80,160]}}`},
+		{"mmpp gap/dwell mismatch", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","arrival":{"process":"mmpp","gaps":[3,0],"dwells":[80]}}`},
+		{"mmpp all silent", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","arrival":{"process":"mmpp","gaps":[0,0],"dwells":[80,160]}}`},
+		{"mmpp bad dwell_dist", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","arrival":{"process":"mmpp","gaps":[3,0],"dwells":[80,160],"dwell_dist":"weibull"}}`},
+		{"mmpp with selfsim fields", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","arrival":{"process":"mmpp","gaps":[3,0],"dwells":[80,160],"hurst":0.8}}`},
+		{"selfsim hurst out of range", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","arrival":{"process":"selfsim","sources":8,"hurst":0.3,"on_mean":50,"off_mean":100,"peak_gap":4}}`},
+		{"selfsim with mmpp fields", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","arrival":{"process":"selfsim","sources":8,"hurst":0.8,"on_mean":50,"off_mean":100,"peak_gap":4,"gaps":[3,0]}}`},
+		{"negative class weight", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","classes":[1,-2]}`},
+		{"zero-sum classes", `{"name":"x","fabric":"amba","width":2,"height":1,"pattern":"uniform","classes":[0,0]}`},
 	}
 	for _, tc := range cases {
 		if _, err := Parse(strings.NewReader(tc.src)); err == nil {
@@ -93,9 +114,28 @@ func TestLibraryCompiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 12 xpipes pattern×topology scenarios + 1 amba, 2 loads each.
-	if want := len(specs) * 2; len(pts) != want {
+	// Classic scenarios expand one point per mean-gap load (two each);
+	// arrival-process scenarios carry their load in the process
+	// parameters and expand to exactly one.
+	want := 0
+	for _, s := range specs {
+		if s.Arrival != nil {
+			want++
+		} else {
+			want += 2
+		}
+	}
+	if len(pts) != want {
 		t.Fatalf("library expands to %d points, want %d", len(pts), want)
+	}
+	arrivals := 0
+	for _, s := range specs {
+		if s.Arrival != nil {
+			arrivals++
+		}
+	}
+	if arrivals < 2 {
+		t.Fatalf("library has %d arrival-process scenarios, want >= 2", arrivals)
 	}
 	for i, p := range pts {
 		if p.ID != i {
@@ -272,9 +312,20 @@ func TestSpecCurveCompilation(t *testing.T) {
 	if len(cs.Gaps) != 2 || cs.ClockPeriodNS != 10 || cs.Seed != 7 {
 		t.Fatalf("curve spec axes = %+v", cs)
 	}
-	// Every library scenario must compile to a runnable curve.
-	if _, err := Curves(Library()); err != nil {
-		t.Fatal(err)
+	// Every classic library scenario must compile to a runnable curve;
+	// arrival-process scenarios have no mean-gap axis and must refuse
+	// with a clear error instead.
+	for _, lib := range Library() {
+		_, err := lib.Curve()
+		if lib.Arrival != nil {
+			if err == nil || !strings.Contains(err.Error(), "arrival") {
+				t.Fatalf("%s: arrival scenario curve error = %v", lib.Name, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", lib.Name, err)
+		}
 	}
 }
 

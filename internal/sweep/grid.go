@@ -58,16 +58,30 @@ type Workload struct {
 	Hotspot []float64 `json:"hotspot,omitempty"`
 	// AllowSelf permits a randomized pattern to target its own node.
 	AllowSelf bool `json:"allow_self,omitempty"`
+	// Arrival selects a bursty or self-similar arrival process for
+	// KindStochastic, replacing Dist/MeanGap (the offered load lives in
+	// the process parameters).
+	Arrival *Arrival `json:"arrival,omitempty"`
+	// Classes are relative per-message-class injection weights for
+	// KindStochastic (see stochastic.Config.Classes).
+	Classes []float64 `json:"classes,omitempty"`
 }
 
 // Label is a compact human-readable workload name, stable across runs.
 func (w Workload) Label() string {
 	if w.Kind == KindStochastic {
+		temporal := w.Dist
+		if w.Arrival != nil {
+			temporal = w.Arrival.label()
+		}
+		if len(w.Classes) > 0 {
+			temporal += fmt.Sprintf("-prio%d", len(w.Classes))
+		}
 		if w.Pattern != "" {
 			return fmt.Sprintf("stochastic-%s-%s%dx%d/%dP/%d",
-				w.Dist, w.Pattern, w.PatternW, w.PatternH, w.Cores, w.Count)
+				temporal, w.Pattern, w.PatternW, w.PatternH, w.Cores, w.Count)
 		}
-		return fmt.Sprintf("stochastic-%s/%dP/%d", w.Dist, w.Cores, w.Count)
+		return fmt.Sprintf("stochastic-%s/%dP/%d", temporal, w.Cores, w.Count)
 	}
 	return fmt.Sprintf("%s/%dP/%d", w.Bench, w.Cores, w.Size)
 }
@@ -151,6 +165,9 @@ func (w Workload) dist() (stochastic.Dist, error) {
 func (w Workload) validate() error {
 	switch w.Kind {
 	case KindTG:
+		if w.Arrival != nil || len(w.Classes) != 0 {
+			return fmt.Errorf("sweep: arrival/classes are stochastic workload knobs")
+		}
 		if w.Size <= 0 {
 			return fmt.Errorf("sweep: workload %s needs a positive size", w.Bench)
 		}
@@ -163,7 +180,17 @@ func (w Workload) validate() error {
 				w.Bench, spec.Cores, w.Cores)
 		}
 	case KindStochastic:
-		if _, err := w.dist(); err != nil {
+		if w.Arrival != nil {
+			if w.Dist != "" || w.MeanGap != 0 {
+				return fmt.Errorf("sweep: arrival process and dist/mean_gap are mutually exclusive")
+			}
+			if err := w.Arrival.validate(); err != nil {
+				return err
+			}
+		} else if _, err := w.dist(); err != nil {
+			return err
+		}
+		if err := stochastic.ValidateClasses(w.Classes); err != nil {
 			return err
 		}
 		if w.Cores <= 0 {

@@ -157,7 +157,10 @@ var tTable97p5 = [30]float64{
 	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
 }
 
-func tQuantile(df int) float64 {
+// TQuantile returns the two-sided 95% Student-t quantile for df degrees
+// of freedom (shared by the adaptive-epoch CI stop rule here and the
+// offered-load fidelity check in internal/valid).
+func TQuantile(df int) float64 {
 	if df < 1 {
 		return math.Inf(1)
 	}
@@ -193,7 +196,7 @@ func relCIHalfWidth(epochs []EpochStat) float64 {
 		ss += d * d
 	}
 	sd := math.Sqrt(ss / float64(n-1))
-	return tQuantile(n-1) * sd / math.Sqrt(float64(n)) / mean
+	return TQuantile(n-1) * sd / math.Sqrt(float64(n)) / mean
 }
 
 // latencyTrendGrowing reports whether every consecutive epoch pair grew

@@ -266,17 +266,12 @@ func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) 
 		sys, err = platform.BuildTG(cfg, progs)
 	case KindStochastic:
 		maxCycles = stochasticMaxCycles
-		scfg := stochastic.Config{
-			MeanGap: p.Workload.MeanGap,
-			Count:   p.Workload.Count,
-			Seed:    p.Seed,
-			Ranges:  []ocp.AddrRange{layout.SharedRange()},
-		}
-		scfg.Dist, _ = p.Workload.dist()
-		if scfg.Spatial, err = p.Workload.spatial(); err != nil {
+		var scfg stochastic.Config
+		if scfg, err = p.Workload.StochasticConfig(p.Seed); err != nil {
 			res.Err = err.Error()
 			return res
 		}
+		scfg.Ranges = []ocp.AddrRange{layout.SharedRange()}
 		sys, err = platform.Build(cfg, func(_ *platform.System, id int, port ocp.MasterPort) platform.Master {
 			return stochastic.New(id, scfg, port)
 		})
