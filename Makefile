@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke sweep scenarios curves golden paper clean
+.PHONY: all build test race vet fmt-check bench bench-smoke sweep scenarios curves golden paper resume-demo clean
 
 all: build test
 
@@ -53,6 +53,19 @@ golden:
 # make paper regenerates the paper's evaluation in parallel.
 paper:
 	$(GO) run ./cmd/tgsweep -paper -sizes quick
+
+# make resume-demo demonstrates a crash-safe campaign: a journaled sweep
+# is SIGKILLed mid-run, then resumed to completion — the resumed artifacts
+# are byte-identical to an uninterrupted run.
+resume-demo:
+	$(GO) build -o /tmp/tgsweep ./cmd/tgsweep
+	rm -f /tmp/resume-demo.journal
+	-timeout -s KILL 0.2 /tmp/tgsweep -grid default -workers 1 \
+		-journal /tmp/resume-demo.journal -out /tmp/resume-demo
+	@echo "--- killed mid-sweep; resuming ---"
+	/tmp/tgsweep -grid default \
+		-journal /tmp/resume-demo.journal -resume -out /tmp/resume-demo
+	@echo "resumed artifacts: /tmp/resume-demo.json /tmp/resume-demo.csv"
 
 clean:
 	rm -f bench/*.txt results.json results.csv scenarios.json scenarios.csv \

@@ -410,6 +410,40 @@ var (
 	RandomFaultPlan = guard.RandomPlan
 )
 
+// Crash-safe campaign types (the write-ahead journal under the sweep
+// runner: journaled execution, byte-identical resume, typed retries).
+type (
+	// SweepJournalConfig selects the journal file and resume mode for
+	// SweepRunner.RunJournaled.
+	SweepJournalConfig = sweep.JournalConfig
+	// SweepJournalStatus reports how a journaled run went: points resumed
+	// from the journal, ran fresh, skipped by a graceful drain, and
+	// whether a torn journal tail was truncated.
+	SweepJournalStatus = sweep.JournalStatus
+	// SweepRetryPolicy governs transient-failure retries and the per-point
+	// wall-clock deadline (execution-only: results never change).
+	SweepRetryPolicy = sweep.RetryPolicy
+)
+
+// Crash-safe campaign entry points.
+var (
+	// SweepPointKey is a point's stable journal identity: a hash of its
+	// result-determining configuration, excluding execution-only knobs.
+	SweepPointKey = sweep.PointKey
+	// ErrSweepDrained reports that a graceful drain (SIGINT/SIGTERM)
+	// skipped unstarted points; the journal holds everything finished.
+	ErrSweepDrained = sweep.ErrDrained
+)
+
+// ResumeSweep resumes a journaled campaign on a default runner: completed
+// points come from the journal at path, the rest run, and the results are
+// byte-identical to an uninterrupted journaled run. Use
+// SweepRunner.Resume (or RunJournaled) to set workers, kernel, shards,
+// guard or retry policy.
+func ResumeSweep(points []SweepPoint, path string) ([]SweepResult, SweepJournalStatus, error) {
+	return SweepRunner{}.Resume(points, path)
+}
+
 // Scenario types (the declarative layer over the sweep runner).
 type (
 	// ScenarioSpec is one declarative traffic scenario: fabric, topology,

@@ -21,6 +21,7 @@ package noctg_test
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -525,6 +526,53 @@ func BenchmarkSweepDefaultGrid(b *testing.B) {
 			b.ReportMetric(float64(len(points))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 		})
 	}
+}
+
+// BenchmarkJournaledSweep measures the write-ahead journal's cost over the
+// identical plain sweep. The cost is a constant per point — two record
+// appends and one fsync, nothing per simulated cycle (the kernel alloc
+// guards, TestZeroAlloc and friends, pin the hot path unchanged at
+// 0 allocs/op) — so the journaled/plain delta here IS that constant:
+// deliberately tiny points make it visible and statistically stable, while
+// on a real campaign point (seconds of simulation) the same constant
+// amortizes below 1%. The CI smoke gate keeps the delta from regressing.
+func BenchmarkJournaledSweep(b *testing.B) {
+	grid := sweep.Grid{
+		Workloads: []sweep.Workload{{
+			Kind: sweep.KindStochastic, Dist: "uniform", Cores: 4,
+			Pattern: "uniform", PatternW: 2, PatternH: 2,
+			MeanGap: 6, Count: 2000,
+		}},
+		Fabrics: []sweep.Fabric{{Interconnect: sweep.FabricAMBA}},
+		Seeds:   []int64{1, 2},
+	}
+	points := grid.Expand()
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := sweep.Runner{Workers: 1}.Run(points)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res[0].Err != "" {
+				b.Fatal(res[0].Err)
+			}
+		}
+		b.ReportMetric(float64(len(points))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	})
+	b.Run("journaled", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			path := filepath.Join(dir, fmt.Sprintf("sweep-%d.journal", i))
+			res, _, err := sweep.Runner{Workers: 1}.RunJournaled(points, sweep.JournalConfig{Path: path})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res[0].Err != "" {
+				b.Fatal(res[0].Err)
+			}
+		}
+		b.ReportMetric(float64(len(points))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	})
 }
 
 // --- phased measurement ---

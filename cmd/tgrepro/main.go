@@ -21,10 +21,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"noctg/internal/drain"
 	"noctg/internal/exp"
 	"noctg/internal/guard"
 	"noctg/internal/platform"
@@ -79,10 +81,15 @@ func main() {
 		opt.Guard = guard.Default()
 		opt.Guard.RunBudget = *runBudget
 	}
+	opt.Interrupted = drain.Arm("tgrepro")
 	// Profiles are written on the success path only: fail() exits the
 	// process without running defers.
 	defer profiles.MustStart("tgrepro")()
 	res, err := sweep.RunPaperSelect(sizes, opt, *workers, sel)
+	if errors.Is(err, sweep.ErrDrained) {
+		fmt.Fprintln(os.Stderr, "tgrepro: interrupted — unstarted experiments skipped; re-run to complete them")
+		os.Exit(1)
+	}
 	if v, ok := guard.AsViolation(err); ok {
 		fmt.Fprintln(os.Stderr, "tgrepro:", err)
 		if v.Diag != nil {

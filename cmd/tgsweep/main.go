@@ -8,7 +8,8 @@
 //
 //	tgsweep [-workers N] [-grid FILE|default] [-out BASE|-] [-maxcycles N]
 //	        [-kernel auto|strict|skip] [-shards N]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-journal FILE [-resume]] [-retries N] [-retry-backoff D]
+//	        [-point-deadline D] [-cpuprofile FILE] [-memprofile FILE]
 //	tgsweep -scenario FILE|library # run declarative traffic scenarios
 //	tgsweep -scenario FILE|library -curve # load-latency curves per scenario
 //	tgsweep -validate [-scenario FILE|library] # generator fidelity report
@@ -57,6 +58,21 @@
 // sharded runs form their own determinism class versus the legacy
 // single-engine path (-shards absent or 0). AMBA points ignore the setting.
 //
+// -journal FILE makes the sweep crash-safe: every completed point is
+// appended to an fsync'd write-ahead journal, and -resume skips completed
+// points and re-runs only in-flight or unstarted ones — final artifacts
+// are byte-identical to an uninterrupted run at any kill point, worker
+// count, kernel or shard count. SIGINT/SIGTERM drain gracefully:
+// in-flight points finish, the journal is flushed, and the process exits
+// nonzero with a resume hint.
+//
+// -retries N retries points whose failure classifies as transient (run
+// budget, barrier stall, worker panic) up to N attempts with exponential
+// -retry-backoff, dropping to the strict kernel and a single shard on the
+// final attempt; deterministic failures (deadlock, conservation) are
+// quarantined immediately as failed points. -point-deadline bounds each
+// attempt's wall clock through the guard run budget.
+//
 // -cpuprofile/-memprofile write
 // pprof profiles of the sweep (shared flag wiring with tgrepro via
 // internal/prof) so performance work needs no code edits.
@@ -64,12 +80,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"noctg/internal/drain"
 	"noctg/internal/exp"
 	"noctg/internal/guard"
 	"noctg/internal/platform"
@@ -96,6 +114,11 @@ func main() {
 		guardFlag  = flag.Bool("guard", false, "arm the guard watchdogs (deadlock horizon, conservation scans, barrier-stall bound) on every point")
 		runBudget  = flag.Duration("run-budget", 0, "wall-clock budget per point (implies -guard); an exceeded point fails with a run-budget violation")
 		onViol     = flag.String("on-violation", "record", "guard violation handling: record (failed point, grid continues, exit 0) or fail (same artifacts, exit 1)")
+		journalF   = flag.String("journal", "", "write-ahead journal file: every completed point is fsync'd so a crashed or interrupted sweep resumes with -resume")
+		resume     = flag.Bool("resume", false, "resume the -journal file, skipping completed points (artifacts come out byte-identical to an uninterrupted run)")
+		retries    = flag.Int("retries", 0, "max attempts per point: transient failures (run budget, barrier stall, worker panic) retry with backoff, falling back to the strict kernel and one shard on the last attempt (0/1 = no retries)")
+		retryBack  = flag.Duration("retry-backoff", 0, "base delay before a retry, doubling per attempt")
+		deadline   = flag.Duration("point-deadline", 0, "wall-clock deadline per point attempt (rides the guard run budget; a blown deadline is transient and retried)")
 	)
 	profiles := prof.Register()
 	flag.Parse()
@@ -105,6 +128,11 @@ func main() {
 	fail(sweep.ValidateShards(*shards))
 	gcfg, err := guardConfig(*guardFlag, *runBudget, *onViol)
 	fail(err)
+	rpol, err := retryPolicy(*retries, *retryBack, *deadline)
+	fail(err)
+	if *resume && *journalF == "" {
+		fail(fmt.Errorf("-resume requires -journal FILE"))
+	}
 
 	// Profiles are written on the success path only: fail() exits the
 	// process without running defers.
@@ -142,7 +170,10 @@ func main() {
 			fail(err)
 		}
 		if *curve {
-			runCurves(specs, *workers, *maxCycles, *out, kernel, *shards, gcfg, *onViol)
+			if *journalF != "" {
+				fail(fmt.Errorf("-journal supports grid/scenario sweeps, not -curve"))
+			}
+			runCurves(specs, *workers, *maxCycles, *out, kernel, *shards, gcfg, rpol, *onViol)
 			return
 		}
 		var err error
@@ -165,9 +196,31 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "tgsweep: %d configurations, %d workers\n", len(points), *workers)
 
+	r := sweep.Runner{Workers: *workers, MaxCycles: *maxCycles, Kernel: kernel, Shards: *shards, Guard: gcfg, Retry: rpol}
 	start := time.Now()
-	results, err := sweep.Runner{Workers: *workers, MaxCycles: *maxCycles, Kernel: kernel, Shards: *shards, Guard: gcfg}.Run(points)
-	fail(err)
+	var results []sweep.Result
+	if *journalF != "" {
+		r.Interrupted = drain.Arm("tgsweep")
+		var status sweep.JournalStatus
+		results, status, err = r.RunJournaled(points, sweep.JournalConfig{Path: *journalF, Resume: *resume})
+		if status.Torn {
+			fmt.Fprintf(os.Stderr, "tgsweep: journal had a torn tail (crash signature); truncated and resumed\n")
+		}
+		if errors.Is(err, sweep.ErrDrained) {
+			fmt.Fprintf(os.Stderr, "tgsweep: interrupted: %d resumed, %d ran, %d pending\n",
+				status.Resumed, status.Ran, status.Skipped)
+			fmt.Fprintf(os.Stderr, "tgsweep: journal flushed; continue with: tgsweep -journal %s -resume ...\n", *journalF)
+			os.Exit(1)
+		}
+		fail(err)
+		if status.Resumed > 0 {
+			fmt.Fprintf(os.Stderr, "tgsweep: resumed %d completed points from %s, ran %d\n",
+				status.Resumed, *journalF, status.Ran)
+		}
+	} else {
+		results, err = r.Run(points)
+		fail(err)
+	}
 	wall := time.Since(start)
 
 	failed, violated := 0, 0
@@ -225,9 +278,26 @@ func exitViolations(violated int, onViol string) {
 	}
 }
 
+// retryPolicy resolves the -retries/-retry-backoff/-point-deadline flags
+// into a runner retry policy (nil = single attempt, no deadline).
+func retryPolicy(retries int, backoff, deadline time.Duration) (*sweep.RetryPolicy, error) {
+	if retries == 0 && backoff == 0 && deadline == 0 {
+		return nil, nil
+	}
+	p := &sweep.RetryPolicy{
+		MaxAttempts: retries,
+		BackoffMS:   int(backoff / time.Millisecond),
+		DeadlineMS:  int(deadline / time.Millisecond),
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // runCurves sweeps each scenario's injection load and writes load-latency
 // curve artifacts (<out>.json / <out>.csv, or JSON on stdout with "-").
-func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string, kernel platform.KernelMode, shards int, gcfg *guard.Config, onViol string) {
+func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string, kernel platform.KernelMode, shards int, gcfg *guard.Config, rpol *sweep.RetryPolicy, onViol string) {
 	css, err := scenario.Curves(specs)
 	fail(err)
 	levels := 0
@@ -239,7 +309,7 @@ func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string,
 	}
 	fmt.Fprintf(os.Stderr, "tgsweep: %d curves (%d load levels), %d workers\n", len(css), levels, workers)
 	start := time.Now()
-	curves, err := sweep.Runner{Workers: workers, MaxCycles: maxCycles, Kernel: kernel, Shards: shards, Guard: gcfg}.RunCurves(css)
+	curves, err := sweep.Runner{Workers: workers, MaxCycles: maxCycles, Kernel: kernel, Shards: shards, Guard: gcfg, Retry: rpol}.RunCurves(css)
 	fail(err)
 	sat := 0
 	for _, c := range curves {

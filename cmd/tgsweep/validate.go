@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"time"
 
+	"noctg/internal/journal"
 	"noctg/internal/scenario"
 	"noctg/internal/sim"
 	"noctg/internal/valid"
@@ -85,13 +87,9 @@ func runValidate(scenPath string, workers int, kernelFlag, out string) {
 	if out == "-" {
 		fail(rep.WriteJSON(os.Stdout))
 	} else {
-		f, err := os.Create(out + ".json")
-		fail(err)
-		err = rep.WriteJSON(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		fail(err)
+		var buf bytes.Buffer
+		fail(rep.WriteJSON(&buf))
+		fail(journal.AtomicWrite(out+".json", buf.Bytes()))
 		fmt.Fprintf(os.Stderr, "tgsweep: wrote %s.json\n", out)
 	}
 	if !rep.Pass {

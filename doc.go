@@ -194,4 +194,29 @@
 // watchdog under every kernel and shard count. In sweeps, a violating
 // point is recorded as a failed Result carrying the violation while the
 // rest of the grid completes (tgsweep -on-violation record|fail).
+//
+// # Crash-safe campaigns
+//
+// A sweep can run journaled (SweepRunner.RunJournaled, tgsweep -journal):
+// every completed point appends one fsync'd, CRC-framed record — stable
+// point key, attempt count, outcome and the full serialized result — to a
+// write-ahead journal, and a resumed campaign (ResumeSweep, tgsweep
+// -resume) skips completed points and re-serializes their stored results,
+// so the final artifacts are byte-identical to an uninterrupted run at any
+// kill point, worker count, kernel or shard count. Point keys hash only
+// result-determining configuration, so campaigns resume across changed
+// execution knobs (workers, kernel, shards, retries); a different grid is
+// refused via the campaign key. Torn journal tails (the crash signature)
+// truncate cleanly on resume; mid-file corruption is a hard error.
+//
+// A SweepRetryPolicy (Runner.Retry, grid/scenario "retry", tgsweep
+// -retries/-retry-backoff/-point-deadline) re-attempts transiently failed
+// points — run budget, barrier stall, recovered worker panic — with
+// exponential backoff, falling back to the strict kernel and a single
+// shard on the final attempt, while deterministic failures (deadlock,
+// conservation) quarantine immediately. SIGINT/SIGTERM drain gracefully
+// on the CLIs: in-flight points finish, the journal flushes, and the
+// process exits nonzero with a resume hint (ErrSweepDrained in the API).
+// All artifact writers go through an atomic temp-file+rename helper, so
+// no crash leaves a partial output file.
 package noctg

@@ -33,6 +33,10 @@ type Options struct {
 	// guarded runs are byte-identical to unguarded ones, and a violation
 	// surfaces as a typed *guard.Violation error from the run.
 	Guard guard.Config
+	// Interrupted, when set, is polled by the paper harness before each
+	// experiment task starts; once true, unstarted tasks are skipped (a
+	// SIGINT/SIGTERM graceful drain) while in-flight ones finish.
+	Interrupted func() bool
 }
 
 // DefaultOptions returns the reference AMBA platform configuration.

@@ -1,0 +1,66 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJournalParse hammers the reader with hostile and torn journals.
+// Parse must never panic or allocate unboundedly: any input either
+// parses (possibly with a torn tail) or returns an error. The seed
+// corpus includes the sample journal truncated at every byte offset of
+// its final record — the normal crash signature.
+func FuzzJournalParse(f *testing.F) {
+	sample := func() []byte {
+		var buf bytes.Buffer
+		for _, rec := range []Record{
+			{Op: OpCampaign, Key: "camp", Points: 2},
+			{Op: OpStart, Key: "a", Attempt: 1},
+			{Op: OpDone, Key: "a", Attempt: 1, Outcome: OutcomeOK,
+				Hash: HashResult([]byte(`{"id":0}`)), Result: []byte(`{"id":0}`)},
+			{Op: OpStart, Key: "b", Attempt: 1},
+		} {
+			line, err := frame(rec)
+			if err != nil {
+				f.Fatal(err)
+			}
+			buf.Write(line)
+		}
+		return buf.Bytes()
+	}()
+	f.Add([]byte{})
+	f.Add(sample)
+	// Truncation at every byte offset of the final record.
+	lastStart := bytes.LastIndexByte(bytes.TrimSuffix(sample, []byte("\n")), '\n') + 1
+	for cut := lastStart; cut <= len(sample); cut++ {
+		f.Add(sample[:cut])
+	}
+	f.Add([]byte("j1 deadbeef {}\n"))
+	f.Add([]byte("j1 00000000 not-json\n"))
+	f.Add([]byte("garbage with no frame at all"))
+	f.Add(bytes.Repeat([]byte("j1 "), 1000))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if log == nil {
+			t.Fatal("nil log without error")
+		}
+		if log.ValidLen > int64(len(data)) {
+			t.Fatalf("valid length %d beyond input %d", log.ValidLen, len(data))
+		}
+		if len(log.Done) > log.Records {
+			t.Fatalf("%d done records out of %d total", len(log.Done), log.Records)
+		}
+		// The valid prefix must re-parse to the same state with no tail.
+		re, err := Parse(data[:log.ValidLen])
+		if err != nil {
+			t.Fatalf("valid prefix failed to re-parse: %v", err)
+		}
+		if re.TornTail || re.Records != log.Records || len(re.Done) != len(log.Done) {
+			t.Fatalf("prefix re-parse drifted: %+v vs %+v", re, log)
+		}
+	})
+}

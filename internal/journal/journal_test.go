@@ -1,0 +1,210 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSample journals one campaign with two completed points and one
+// in-flight attempt, returning the file path.
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Campaign("camp-1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start("p0", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Done("p0", 1, OutcomeOK, "", []byte(`{"id":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start("p1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Done("p1", 2, OutcomeQuarantined, "deadlock-horizon", []byte(`{"id":1,"err":"guard"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Start("p2", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := writeSample(t)
+	log, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Campaign == nil || log.Campaign.Key != "camp-1" || log.Campaign.Points != 3 {
+		t.Fatalf("campaign header: %+v", log.Campaign)
+	}
+	if !log.Completed("p0") || !log.Completed("p1") || log.Completed("p2") {
+		t.Fatalf("completion set wrong: %v", log.Done)
+	}
+	if got := log.Done["p1"]; got.Outcome != OutcomeQuarantined || got.Kind != "deadlock-horizon" {
+		t.Fatalf("p1 done record: %+v", got)
+	}
+	if string(log.Done["p0"].Result) != `{"id":0}` {
+		t.Fatalf("p0 result: %s", log.Done["p0"].Result)
+	}
+	if log.Attempts["p1"] != 2 || log.Attempts["p2"] != 1 {
+		t.Fatalf("attempts: %v", log.Attempts)
+	}
+	if log.TornTail {
+		t.Fatal("clean journal reported a torn tail")
+	}
+	st, _ := os.Stat(path)
+	if log.ValidLen != st.Size() {
+		t.Fatalf("valid length %d, file is %d", log.ValidLen, st.Size())
+	}
+}
+
+func TestLoadMissingIsEmpty(t *testing.T) {
+	log, err := Load(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Records != 0 || log.Campaign != nil || log.TornTail {
+		t.Fatalf("missing journal not empty: %+v", log)
+	}
+}
+
+// TestTruncationAtEveryOffset is the kill-anywhere property at the
+// journal layer: cutting the file at ANY byte offset must parse without
+// error, keep every record before the cut, and at most drop the torn one.
+func TestTruncationAtEveryOffset(t *testing.T) {
+	path := writeSample(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		log, err := Parse(data[:cut])
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if log.Records > full.Records {
+			t.Fatalf("cut at %d: %d records from a %d-record journal", cut, log.Records, full.Records)
+		}
+		if cut < len(data) && log.Records < full.Records && !log.TornTail && int(log.ValidLen) != cut {
+			t.Fatalf("cut at %d: dropped records without a torn tail", cut)
+		}
+		// A record that parsed must be bit-exact.
+		for key, rec := range log.Done {
+			want := full.Done[key]
+			if rec.Hash != want.Hash || !bytes.Equal(rec.Result, want.Result) {
+				t.Fatalf("cut at %d: record %s drifted", cut, key)
+			}
+		}
+		if int(log.ValidLen) > cut {
+			t.Fatalf("cut at %d: valid length %d beyond the data", cut, log.ValidLen)
+		}
+	}
+}
+
+// TestMidFileCorruptionRejected: a flipped byte anywhere before the tail
+// is corruption, not a torn write, and must surface as an error.
+func TestMidFileCorruptionRejected(t *testing.T) {
+	path := writeSample(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the first record's payload.
+	first := bytes.IndexByte(data, '\n')
+	corrupt := append([]byte(nil), data...)
+	corrupt[first-2] ^= 0xFF
+	if _, err := Parse(corrupt); err == nil {
+		t.Fatal("mid-file corruption parsed cleanly")
+	}
+}
+
+// TestTornTailTruncatedOnResume: resuming truncates the torn tail so
+// appended records follow the valid prefix directly.
+func TestTornTailTruncatedOnResume(t *testing.T) {
+	path := writeSample(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-way through its final record.
+	torn := data[:len(data)-7]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.TornTail {
+		t.Fatal("chopped journal did not report a torn tail")
+	}
+	w, err := Resume(path, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Done("p2", 1, OutcomeOK, "", []byte(`{"id":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	relog, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relog.TornTail || !relog.Completed("p2") || relog.Records != log.Records+1 {
+		t.Fatalf("resumed journal state: %+v", relog)
+	}
+}
+
+// TestCreateRefusesExisting: a fresh journal must never clobber a
+// resumable one.
+func TestCreateRefusesExisting(t *testing.T) {
+	path := writeSample(t)
+	if _, err := Create(path); err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("Create over an existing journal: %v", err)
+	}
+}
+
+// TestHashMismatchRejected: a done record whose result no longer matches
+// its hash is treated as torn at the tail and corruption elsewhere.
+func TestHashMismatchRejected(t *testing.T) {
+	rec := Record{Op: OpDone, Key: "k", Attempt: 1, Outcome: OutcomeOK,
+		Hash: HashResult([]byte(`{"id":9}`)), Result: []byte(`{"id":0}`)}
+	line, err := frame(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := Parse(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Records != 0 || !log.TornTail {
+		t.Fatalf("tail hash mismatch not dropped as torn: %+v", log)
+	}
+	// The same record before a valid one is corruption.
+	ok, err := frame(Record{Op: OpStart, Key: "k", Attempt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(append(append([]byte(nil), line...), ok...)); err == nil {
+		t.Fatal("mid-file hash mismatch parsed cleanly")
+	}
+}

@@ -82,6 +82,13 @@ type Spec struct {
 	// takes precedence.
 	Shards int `json:"shards,omitempty"`
 
+	// Retry sets the per-point retry/deadline policy (transient failures
+	// re-attempted with backoff, a wall-clock deadline per attempt; see
+	// sweep.RetryPolicy). A runner-level policy (-retries) takes
+	// precedence. Execution-only: it never changes results or journal
+	// point identity.
+	Retry *sweep.RetryPolicy `json:"retry,omitempty"`
+
 	// Measurement methodology (all optional; zero values keep the classic
 	// whole-run accounting). Warmup discards the lead-in transient,
 	// EpochCycles/Epochs split measurement into fixed epochs, CITarget
@@ -190,6 +197,7 @@ func (s Spec) Grid() (sweep.Grid, error) {
 		Seeds:          s.Seeds,
 		Measure:        s.Measure(),
 		Shards:         s.Shards,
+		Retry:          s.Retry,
 	}
 	if err := g.Validate(); err != nil {
 		return sweep.Grid{}, fmt.Errorf("scenario %q: %w", s.Name, err)
@@ -273,6 +281,9 @@ func (s Spec) Validate() error {
 	if err := sweep.ValidateShards(s.Shards); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	if err := s.Retry.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
 	for _, w := range d.workloads() {
 		if err := (sweep.Grid{Workloads: []sweep.Workload{w},
 			Fabrics: []sweep.Fabric{d.fabric()}}).Validate(); err != nil {
@@ -316,6 +327,7 @@ func (s Spec) Curve() (sweep.CurveSpec, error) {
 		Fabric:   s.fabric(),
 		Gaps:     s.CurveGaps,
 		Measure:  m,
+		Retry:    s.Retry,
 	}
 	if len(s.ClockPeriodsNS) > 0 {
 		cs.ClockPeriodNS = s.ClockPeriodsNS[0]

@@ -288,6 +288,43 @@ func TestSpecMeasureValidation(t *testing.T) {
 	}
 }
 
+func TestSpecRetryCompilation(t *testing.T) {
+	// The retry knob survives the strict JSON loader and threads into
+	// both the grid and curve compilations.
+	src := `{"name":"r","fabric":"amba","width":2,"height":2,"pattern":"uniform",
+		"count":100,"epoch_cycles":1000,
+		"retry":{"max_attempts":3,"backoff_ms":50,"deadline_ms":60000}}`
+	specs, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sweep.RetryPolicy{MaxAttempts: 3, BackoffMS: 50, DeadlineMS: 60000}
+	g, err := specs[0].Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Retry == nil || *g.Retry != want {
+		t.Fatalf("grid retry = %+v, want %+v", g.Retry, want)
+	}
+	for _, p := range g.Expand() {
+		if p.Retry == nil || *p.Retry != want {
+			t.Fatalf("point retry = %+v", p.Retry)
+		}
+	}
+	cs, err := specs[0].Curve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Retry == nil || *cs.Retry != want {
+		t.Fatalf("curve retry = %+v, want %+v", cs.Retry, want)
+	}
+	bad := specs[0]
+	bad.Retry = &sweep.RetryPolicy{MaxAttempts: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative max_attempts must be rejected")
+	}
+}
+
 func TestSpecCurveCompilation(t *testing.T) {
 	s, err := ByName("hotspot-amba")
 	if err != nil {

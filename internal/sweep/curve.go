@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"strconv"
+
+	"noctg/internal/guard"
 )
 
 // This file implements the canonical NoC load–latency evaluation: sweep
@@ -61,6 +63,9 @@ type CurveSpec struct {
 	// Measure is the per-level phased methodology; EpochCycles must be set
 	// (open-loop levels never complete, so epochs are the only windows).
 	Measure Measure `json:"measure"`
+	// Retry is the per-level retry/deadline policy (see RetryPolicy); the
+	// runner-level policy overrides it.
+	Retry *RetryPolicy `json:"retry,omitempty"`
 }
 
 // withDefaults resolves the optional axes.
@@ -103,6 +108,9 @@ func (cs CurveSpec) Validate() error {
 	if d.Measure.EpochCycles == 0 {
 		return fmt.Errorf("sweep: curve %q: measure.epoch_cycles must be set (open-loop levels never complete)", cs.Name)
 	}
+	if err := d.Retry.Validate(); err != nil {
+		return fmt.Errorf("sweep: curve %q: %w", cs.Name, err)
+	}
 	return nil
 }
 
@@ -129,6 +137,12 @@ type CurvePoint struct {
 	// curve-level detector; see Curve.Saturation).
 	Saturated bool   `json:"saturated"`
 	Err       string `json:"err,omitempty"`
+	// Violation carries the structured guard diagnostic — watchdog
+	// violation or recovered worker panic — with the level's identity
+	// (curve name, gap) prefixed onto its message, so a failed curve level
+	// is as debuggable as a failed grid point. Omitted on clean levels, so
+	// fault-free artifacts are unchanged.
+	Violation *guard.Violation `json:"violation,omitempty"`
 }
 
 // SaturationPoint names the first saturated load level of a curve.
@@ -217,25 +231,34 @@ func (r Runner) RunCurves(specs []CurveSpec) ([]Curve, error) {
 // runCurveLevel measures one load level: the template workload at the
 // given gap, effectively unbounded transactions, phased measurement, no
 // tracing (an open-loop monitor event log would grow without bound).
+// Levels run under the same retry policy as grid points, and a failing
+// level keeps its full violation context — a worker panic's recovery
+// names the curve and gap, not just a generic failed point.
 func (r Runner) runCurveLevel(cache *programCache, cs CurveSpec, gap float64) CurvePoint {
 	w := cs.Workload
 	w.MeanGap = gap
 	w.Count = curveOpenCount
 	m := cs.Measure
 	m.DrainCycles = 0 // open-loop levels have nothing to drain into
-	res := r.runPoint(cache, Point{
+	res, _, _ := r.runPointRetry(cache, Point{
 		Workload:      w,
 		Fabric:        cs.Fabric,
 		ClockPeriodNS: cs.ClockPeriodNS,
 		Seed:          cs.Seed,
 		Measure:       &m,
-	}, false)
+		Retry:         cs.Retry,
+	}, false, 0, nil)
 	cp := CurvePoint{
 		MeanGap:    gap,
 		OfferedTPK: float64(w.Cores) * 1000 / (gap + 1),
 		Err:        res.Err,
 	}
 	if res.Err != "" {
+		if res.Violation != nil {
+			v := *res.Violation
+			v.Msg = fmt.Sprintf("curve %s gap %g: %s", cs.Name, gap, v.Msg)
+			cp.Violation = &v
+		}
 		return cp
 	}
 	cp.ThroughputTPK = res.ThroughputTPK

@@ -2,8 +2,11 @@ package sweep
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"testing"
 
+	"noctg/internal/guard"
 	"noctg/internal/platform"
 )
 
@@ -121,6 +124,81 @@ func TestCurveSpecValidate(t *testing.T) {
 		if err := cs.Validate(); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
+	}
+}
+
+// TestCurvePanicKeepsPointContext is the PR-7 regression fix: a worker
+// panic inside a curve level used to surface as a bare Err string,
+// dropping the recovered panic's structured context. The violation must
+// now ride the CurvePoint, its message naming the curve and gap.
+func TestCurvePanicKeepsPointContext(t *testing.T) {
+	spec := goldenCurveSpec()
+	spec.Gaps = []float64{24, 6}
+	r := Runner{
+		Faults: func(Point) *guard.FaultPlan { panic("injected curve panic") },
+	}
+	c, err := r.RunCurve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range c.Points {
+		if p.Err == "" || !strings.Contains(p.Err, "injected curve panic") {
+			t.Fatalf("gap %g: panic not recorded: %q", p.MeanGap, p.Err)
+		}
+		if p.Violation == nil || p.Violation.Kind != guard.KindPanic {
+			t.Fatalf("gap %g: panic lost its structured violation: %+v", p.MeanGap, p.Violation)
+		}
+		want := fmt.Sprintf("curve %s gap %g:", spec.Name, p.MeanGap)
+		if !strings.Contains(p.Violation.Msg, want) {
+			t.Fatalf("gap %g: violation message %q lacks the level context %q",
+				p.MeanGap, p.Violation.Msg, want)
+		}
+		if p.Violation.Stack == "" {
+			t.Fatalf("gap %g: recovered panic lost its stack", p.MeanGap)
+		}
+	}
+	// The stack is diagnostic-only: the artifact must exclude it (it
+	// embeds host-dependent addresses) while keeping the violation.
+	var buf bytes.Buffer
+	if err := WriteCurvesJSON(&buf, []Curve{c}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"violation"`)) {
+		t.Fatal("curve artifact lacks the violation")
+	}
+	if bytes.Contains(buf.Bytes(), []byte("goroutine")) {
+		t.Fatal("curve artifact leaks the panic stack")
+	}
+}
+
+// TestCurveRetryRecovers: a transient first-attempt failure on a curve
+// level retries under the spec's policy and the final artifact is
+// byte-identical to a fault-free run.
+func TestCurveRetryRecovers(t *testing.T) {
+	spec := goldenCurveSpec()
+	spec.Gaps = []float64{24, 6}
+	clean, err := Runner{}.RunCurve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Retry = &RetryPolicy{MaxAttempts: 2}
+	r := Runner{
+		Faults: func(Point) *guard.FaultPlan { panic("transient curve panic") },
+	}
+	retried, err := r.RunCurve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(c Curve) []byte {
+		c.Name = "normalized" // Retry lives in the spec, not the curve
+		var buf bytes.Buffer
+		if err := WriteCurvesJSON(&buf, []Curve{c}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := render(clean), render(retried); !bytes.Equal(a, b) {
+		t.Fatalf("retried curve diverged from the clean run:\n%s\nvs\n%s", b, a)
 	}
 }
 

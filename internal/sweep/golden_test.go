@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"noctg/internal/exp"
+	"noctg/internal/journal"
 )
 
 // The golden-file regression harness: every deterministic experiment
@@ -35,7 +36,9 @@ func golden(t *testing.T, name string, v any) {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
+		// Atomic like every other artifact writer: an interrupted -update
+		// must not leave a torn golden masquerading as a real baseline.
+		if err := journal.AtomicWrite(path, got); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("rewrote %s (%d bytes)", path, len(got))

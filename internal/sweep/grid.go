@@ -292,6 +292,9 @@ type Grid struct {
 	// are identical for every shard count >= 1 but form their own
 	// determinism class versus the legacy single-engine run (0).
 	Shards int `json:"shards,omitempty"`
+	// Retry is the per-point retry/deadline policy applied to every point
+	// (see RetryPolicy). Execution-only, like Shards.
+	Retry *RetryPolicy `json:"retry,omitempty"`
 }
 
 // Point is one fully-specified grid configuration.
@@ -308,6 +311,10 @@ type Point struct {
 	// Execution-only: results never record it, and artifacts are
 	// byte-identical across shard counts >= 1.
 	Shards int `json:"shards,omitempty"`
+	// Retry is the point's retry/deadline policy (see Grid.Retry).
+	// Execution-only: excluded from the journal point key, so a resumed
+	// campaign may change it.
+	Retry *RetryPolicy `json:"retry,omitempty"`
 }
 
 // Label identifies the point in reports.
@@ -335,7 +342,7 @@ func (g Grid) Expand() []Point {
 					pts = append(pts, Point{
 						ID: len(pts), Workload: w, Fabric: f,
 						ClockPeriodNS: c, Seed: s, Measure: g.Measure,
-						Shards: g.Shards,
+						Shards: g.Shards, Retry: g.Retry,
 					})
 				}
 			}
@@ -376,7 +383,7 @@ func (g Grid) Validate() error {
 	if err := ValidateShards(g.Shards); err != nil {
 		return err
 	}
-	return nil
+	return g.Retry.Validate()
 }
 
 // MaxShards bounds the shard axis so a hostile grid file cannot demand

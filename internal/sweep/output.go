@@ -1,11 +1,13 @@
 package sweep
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"io"
-	"os"
 	"strconv"
+
+	"noctg/internal/journal"
 )
 
 // WriteJSON renders the result set as indented JSON. Field order and float
@@ -23,8 +25,9 @@ func writeJSON(w io.Writer, v any) error {
 
 // WriteArtifacts writes the result set to <base>.json and <base>.csv. Any
 // filesystem failure — an unwritable or missing output directory, a full
-// disk — comes back as an error, never a panic, and whatever was written
-// before the failure is left in place for inspection.
+// disk — comes back as an error, never a panic. Each file is written
+// atomically (rendered in memory, temp file + rename): a crash or failure
+// mid-write can never leave a torn artifact where a result set should be.
 func WriteArtifacts(base string, results []Result) error {
 	return writePair(base, func(w io.Writer) error { return WriteJSON(w, results) },
 		func(w io.Writer) error { return WriteCSV(w, results) })
@@ -37,19 +40,15 @@ func WriteCurveArtifacts(base string, curves []Curve) error {
 		func(w io.Writer) error { return WriteCurvesCSV(w, curves) })
 }
 
-// writePair creates <base>.json and <base>.csv and streams one renderer
-// into each.
+// writePair renders <base>.json and <base>.csv into memory and writes
+// each through the atomic temp-file-plus-rename helper.
 func writePair(base string, renderJSON, renderCSV func(io.Writer) error) error {
 	write := func(path string, render func(io.Writer) error) error {
-		f, err := os.Create(path)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := render(&buf); err != nil {
 			return err
 		}
-		if err := render(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
+		return journal.AtomicWrite(path, buf.Bytes())
 	}
 	if err := write(base+".json", renderJSON); err != nil {
 		return err

@@ -138,7 +138,7 @@ func RunPaperSelect(sizes exp.Sizes, opt exp.Options, workers int, sel PaperSele
 		})
 	}
 
-	if err := errors.Join(Run(workers, tasks)...); err != nil {
+	if err := errors.Join(RunDrained(workers, tasks, opt.Interrupted)...); err != nil {
 		return res, err
 	}
 	return res, nil

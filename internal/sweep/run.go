@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"noctg/internal/core"
 	"noctg/internal/exp"
@@ -87,8 +88,18 @@ type Runner struct {
 	Guard *guard.Config
 	// Faults derives an optional deterministic fault plan per point (test
 	// stimulus for the guard watchdogs); nil — or a nil/empty return —
-	// injects nothing.
+	// injects nothing. Plans are injected on a point's first attempt only,
+	// so a transient injected failure proves the retry path recovers.
 	Faults func(Point) *guard.FaultPlan
+	// Retry, when set, overrides every point's retry policy (the -retries
+	// flags). Nil falls back to the per-point policy from grid/scenario;
+	// nil both ways means one attempt per point and no deadline.
+	Retry *RetryPolicy
+	// Interrupted, when set, is polled before each point starts; once it
+	// returns true the runner stops starting points (in-flight points
+	// finish). Journaled runs report the skipped count for the resume
+	// hint. Wired to SIGINT/SIGTERM by the CLIs.
+	Interrupted func() bool
 }
 
 const stochasticMaxCycles = 2_000_000
@@ -159,35 +170,48 @@ func translate(w Workload) ([]*core.Program, error) {
 	return progs, nil
 }
 
+// validatePoints rejects invalid points up front so a sweep (journaled or
+// not) never records half a campaign before discovering a bad grid.
+func (r Runner) validatePoints(points []Point) error {
+	for _, p := range points {
+		if err := p.Workload.validate(); err != nil {
+			return fmt.Errorf("sweep: point %d: %w", p.ID, err)
+		}
+		if _, err := p.Fabric.interconnect(); err != nil {
+			return fmt.Errorf("sweep: point %d: %w", p.ID, err)
+		}
+		if p.ClockPeriodNS == 0 {
+			return fmt.Errorf("sweep: point %d: zero clock period", p.ID)
+		}
+		if p.Measure != nil {
+			if err := p.Measure.Validate(); err != nil {
+				return fmt.Errorf("sweep: point %d: %w", p.ID, err)
+			}
+		}
+		if err := ValidateShards(p.Shards); err != nil {
+			return fmt.Errorf("sweep: point %d: %w", p.ID, err)
+		}
+		if err := p.Retry.Validate(); err != nil {
+			return fmt.Errorf("sweep: point %d: %w", p.ID, err)
+		}
+	}
+	if err := ValidateShards(r.Shards); err != nil {
+		return err
+	}
+	return r.Retry.Validate()
+}
+
 // Run executes every point and returns the results in point order,
 // regardless of Workers. It returns an error only for an invalid grid
 // point; individual run failures are recorded in Result.Err.
 func (r Runner) Run(points []Point) ([]Result, error) {
-	for _, p := range points {
-		if err := p.Workload.validate(); err != nil {
-			return nil, fmt.Errorf("sweep: point %d: %w", p.ID, err)
-		}
-		if _, err := p.Fabric.interconnect(); err != nil {
-			return nil, fmt.Errorf("sweep: point %d: %w", p.ID, err)
-		}
-		if p.ClockPeriodNS == 0 {
-			return nil, fmt.Errorf("sweep: point %d: zero clock period", p.ID)
-		}
-		if p.Measure != nil {
-			if err := p.Measure.Validate(); err != nil {
-				return nil, fmt.Errorf("sweep: point %d: %w", p.ID, err)
-			}
-		}
-		if err := ValidateShards(p.Shards); err != nil {
-			return nil, fmt.Errorf("sweep: point %d: %w", p.ID, err)
-		}
-	}
-	if err := ValidateShards(r.Shards); err != nil {
+	if err := r.validatePoints(points); err != nil {
 		return nil, err
 	}
 	cache := &programCache{}
 	return Map(r.Workers, points, func(_ int, p Point) (Result, error) {
-		return r.runPoint(cache, p, true), nil
+		res, _, _ := r.runPointRetry(cache, p, true, 0, nil)
+		return res, nil
 	})
 }
 
@@ -199,12 +223,34 @@ func (r Runner) RunGrid(g Grid) ([]Result, error) {
 	return r.Run(g.Expand())
 }
 
-// runPoint executes one configuration on its own engine. A panicking model
-// is recorded as that point's failure rather than aborting the sweep.
-// trace enables the per-port OCP monitors; open-loop curve points disable
-// them (their event logs would grow without bound) and meter traffic at
-// the generators instead.
-func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) {
+// execOpts carries the per-attempt execution knobs the retry policy
+// varies without touching the point itself.
+type execOpts struct {
+	// trace enables the per-port OCP monitors; open-loop curve points
+	// disable them (their event logs would grow without bound) and meter
+	// traffic at the generators instead.
+	trace bool
+	// attempt numbers this try (1-based, continuing across a resume).
+	// Fault plans — test stimulus — inject on attempt 1 only, so an
+	// injected transient failure proves the retry path recovers.
+	attempt int
+	// fallback is set on the final attempt of a retried point: the kernel
+	// drops to strict and multi-shard runs collapse to one engine, trading
+	// speed for the most conservative execution mode available.
+	fallback bool
+	// deadline bounds this attempt's wall clock through guard.RunBudget.
+	deadline time.Duration
+}
+
+// runPoint executes one configuration on its own engine with the default
+// first-attempt options. A panicking model is recorded as that point's
+// failure rather than aborting the sweep.
+func (r Runner) runPoint(cache *programCache, p Point, trace bool) Result {
+	return r.runPointExec(cache, p, execOpts{trace: trace, attempt: 1})
+}
+
+// runPointExec executes one attempt of one configuration.
+func (r Runner) runPointExec(cache *programCache, p Point, opts execOpts) (res Result) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			// Keep the point's identity fields: a panic mid-build must still
@@ -231,6 +277,15 @@ func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) 
 	if r.Shards > 0 {
 		shards = r.Shards
 	}
+	if opts.fallback {
+		// Final-attempt fallback: strict kernel, single engine. Shards
+		// collapse only from >1 — 0 stays 0 so a legacy single-engine
+		// point keeps its determinism class.
+		kernel = platform.KernelStrict
+		if shards > 1 {
+			shards = 1
+		}
+	}
 	cfg := platform.Config{
 		Cores:        p.Workload.Cores,
 		Interconnect: ic,
@@ -242,7 +297,7 @@ func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) 
 		},
 		MemWaitStates: p.Fabric.MemWaitStates,
 		Clock:         sim.Clock{PeriodNS: p.ClockPeriodNS},
-		Trace:         trace,
+		Trace:         opts.trace,
 		Kernel:        kernel,
 		Shards:        shards,
 	}
@@ -283,10 +338,19 @@ func (r Runner) runPoint(cache *programCache, p Point, trace bool) (res Result) 
 	if r.MaxCycles > 0 {
 		maxCycles = r.MaxCycles
 	}
-	if r.Guard != nil {
-		sys.EnableGuard(*r.Guard)
+	if r.Guard != nil || opts.deadline > 0 {
+		var gcfg guard.Config
+		if r.Guard != nil {
+			gcfg = *r.Guard
+		}
+		if opts.deadline > 0 {
+			// The per-point deadline rides the run-budget watchdog, arming
+			// a budget-only guard when the runner has none.
+			gcfg.RunBudget = opts.deadline
+		}
+		sys.EnableGuard(gcfg)
 	}
-	if r.Faults != nil {
+	if r.Faults != nil && opts.attempt <= 1 {
 		if plan := r.Faults(p); plan != nil && !plan.Empty() {
 			if err := sys.InjectFaults(*plan); err != nil {
 				res.Err = err.Error()

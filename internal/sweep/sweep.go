@@ -20,6 +20,12 @@ import (
 	"sync"
 )
 
+// ErrDrained marks a task that was never started because the pool was
+// asked to drain (SIGINT/SIGTERM): in-flight tasks finished, this one did
+// not begin. Journaled runs leave drained points incomplete for the next
+// resume.
+var ErrDrained = errors.New("sweep: drained before start")
+
 // Run executes tasks over a worker pool of the given size and returns each
 // task's error at the task's own index. Output position never depends on
 // worker count or goroutine scheduling — each task writes only its own
@@ -27,6 +33,14 @@ import (
 // -workers settings. workers <= 0 means GOMAXPROCS. A panicking task is
 // converted into an error rather than taking the whole sweep down.
 func Run(workers int, tasks []func() error) []error {
+	return RunDrained(workers, tasks, nil)
+}
+
+// RunDrained is Run with a graceful-drain hook: interrupted (when
+// non-nil) is polled before each task starts, and once it reports true
+// the remaining tasks are marked ErrDrained instead of running. Tasks
+// already started always finish — a drain never tears a task mid-run.
+func RunDrained(workers int, tasks []func() error, interrupted func() bool) []error {
 	errs := make([]error, len(tasks))
 	if len(tasks) == 0 {
 		return errs
@@ -44,6 +58,10 @@ func Run(workers int, tasks []func() error) []error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if interrupted != nil && interrupted() {
+					errs[i] = ErrDrained
+					continue
+				}
 				errs[i] = protect(tasks[i])
 			}
 		}()
