@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke sweep scenarios curves golden paper resume-demo clean
+.PHONY: all build test race vet fmt-check bench bench-smoke sweep scenarios curves analytic golden paper resume-demo clean
 
 all: build test
 
@@ -44,6 +44,16 @@ scenarios:
 # load-latency curves with detected saturation points.
 curves:
 	$(GO) run ./cmd/tgsweep -scenario library -curve -out curves
+
+# make analytic runs the closed-form estimator's validation suite: unit
+# tests on hand-computed cases, the sweep integration layer, and the
+# library-wide cross-validation against simulation (knee within one
+# ladder step, zero-load latency within 20%, adaptive >= 40% fewer
+# simulated levels).
+analytic:
+	$(GO) test ./internal/analytic
+	$(GO) test -run 'TestAnalytic|TestAdaptive|TestPredictSaturation|TestGridAnalytic|TestPrePass|TestJournalResumeWithAnalytic|TestCurveCSVEstimated' ./internal/sweep
+	$(GO) test -run TestAnalyticCrossValidation -v .
 
 # make golden regenerates the golden regression snapshots after an
 # intentional model change.

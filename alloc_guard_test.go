@@ -18,6 +18,7 @@ import (
 	"noctg/internal/core"
 	"noctg/internal/platform"
 	"noctg/internal/sim"
+	"noctg/internal/sweep"
 )
 
 func TestZeroAllocEngineTick(t *testing.T) {
@@ -150,5 +151,33 @@ func TestZeroAllocEventKernelMixedLoad(t *testing.T) {
 	run() // warm the schedule storage, pools and reusable buffers
 	if avg := testing.AllocsPerRun(5, run); avg != 0 {
 		t.Errorf("event kernel mixed-load run allocates %.2f allocs per %d cycles", avg, span)
+	}
+}
+
+// TestZeroAllocAnalyticEstimate guards the closed-form estimator's hot
+// path: adaptive curves and the grid pre-pass call Estimate/LatencyAt/
+// ThroughputAt per load level, and any allocation there would scale with
+// sweep size. Compilation (New) may allocate; prediction may not.
+func TestZeroAllocAnalyticEstimate(t *testing.T) {
+	w := sweep.Workload{
+		Kind: sweep.KindStochastic, Dist: "poisson", Cores: 4,
+		Pattern: "uniform", PatternW: 2, PatternH: 2, Count: 300, MeanGap: 10,
+	}
+	for _, f := range []sweep.Fabric{
+		{Interconnect: sweep.FabricAMBA},
+		{Interconnect: sweep.FabricXPipes},
+	} {
+		est, err := sweep.NewEstimator(w, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			e := est.Estimate()
+			_ = est.LatencyAt(e.KneeGap + 4)
+			_ = est.ThroughputAt(e.KneeGap + 4)
+			_ = est.UtilizationAt(e.KneeGap + 4)
+		}); avg != 0 {
+			t.Errorf("%s: estimator hot path allocates %.2f allocs per prediction", f.Label(), avg)
+		}
 	}
 }

@@ -1,0 +1,163 @@
+// Cross-validation of the closed-form estimator against simulation over
+// the scenario library: the analytic knee must land within 15% relative
+// load (or one ladder step) of the simulated saturation point, zero-load
+// latency within 20%, and the adaptive curve traversal must find the same
+// knee as the uniform one while simulating at least 40% fewer levels.
+// These tolerances are the estimator's contract — the README's model
+// notes and the sweep layer's confidence bounds are calibrated to them.
+
+package noctg_test
+
+import (
+	"math"
+	"testing"
+
+	"noctg/internal/scenario"
+	"noctg/internal/sweep"
+)
+
+// crossvalKneeRelTol / crossvalLatRelTol pin the estimator's accuracy
+// contract over the scenario library.
+const (
+	crossvalKneeRelTol = 0.15
+	crossvalLatRelTol  = 0.20
+)
+
+// libraryCurveSpecs compiles every curve-able library scenario in the
+// given traversal mode.
+func libraryCurveSpecs(t *testing.T, mode string) []sweep.CurveSpec {
+	t.Helper()
+	css, err := scenario.Curves(scenario.Library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(css) == 0 {
+		t.Fatal("scenario library compiled to zero curves")
+	}
+	for i := range css {
+		css[i].Mode = mode
+	}
+	return css
+}
+
+// gapLadder returns a curve's descending-gap load axis.
+func gapLadder(c sweep.Curve) []float64 {
+	gaps := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		gaps[i] = p.MeanGap
+	}
+	return gaps
+}
+
+// satIndex returns the index of the curve's saturation level on its
+// ladder, or -1 without saturation.
+func satIndex(c sweep.Curve) int {
+	if c.Saturation == nil {
+		return -1
+	}
+	for i, p := range c.Points {
+		if p.MeanGap == c.Saturation.MeanGap {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestAnalyticCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the full scenario library twice")
+	}
+	uniform := libraryCurveSpecs(t, sweep.CurveModeUniform)
+	adaptive := libraryCurveSpecs(t, sweep.CurveModeAdaptive)
+	r := sweep.Runner{}
+	ucs, err := r.RunCurves(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acs, err := r.RunCurves(adaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simTotal, uniTotal := 0, 0
+	for i := range ucs {
+		uc, ac := ucs[i], acs[i]
+		t.Run(uc.Name, func(t *testing.T) {
+			est, err := sweep.NewEstimator(uniform[i].Workload, uniform[i].Fabric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := est.Estimate()
+
+			// Zero-load latency: the lightest simulated level sits far in
+			// the linear region, where the model must track the simulation.
+			light := uc.Points[0]
+			if light.Err != "" {
+				t.Fatalf("lightest level failed: %s", light.Err)
+			}
+			latErr := math.Abs(light.LatencyMean-e.ZeroLoadLatency) / light.LatencyMean
+			t.Logf("zero-load: simulated %.2f predicted %.2f (%.1f%% off)",
+				light.LatencyMean, e.ZeroLoadLatency, 100*latErr)
+			if latErr > crossvalLatRelTol {
+				t.Errorf("zero-load latency: predicted %.2f vs simulated %.2f cycles (%.1f%% > %.0f%%)",
+					e.ZeroLoadLatency, light.LatencyMean, 100*latErr, 100*crossvalLatRelTol)
+			}
+
+			// Knee position: the operational prediction — the saturation
+			// detector run on the model's own curve over the same ladder —
+			// must land within one ladder step of the simulated detection,
+			// or within tolerance in offered load (1/(gap+1)). Detection is
+			// quantized to the gap ladder, so one-step disagreement is the
+			// detector's own resolution, not model error.
+			si := satIndex(uc)
+			if si < 0 {
+				t.Fatal("uniform curve found no saturation point")
+			}
+			gaps := gapLadder(uc)
+			pi := sweep.PredictSaturationIndex(est, gaps)
+			if pi < 0 {
+				t.Fatalf("model predicts no saturation on the ladder, simulation detected it at gap %g", gaps[si])
+			}
+			predLoad := 1 / (gaps[pi] + 1)
+			detLoad := 1 / (gaps[si] + 1)
+			kneeErr := math.Abs(predLoad-detLoad) / detLoad
+			t.Logf("knee: detected level %d (gap %g), predicted level %d (gap %g), load %.1f%% off",
+				si, gaps[si], pi, gaps[pi], 100*kneeErr)
+			if d := pi - si; (d < -1 || d > 1) && kneeErr > crossvalKneeRelTol {
+				t.Errorf("knee: predicted level %d (gap %g, load %.4f) vs detected level %d (gap %g, load %.4f): %d steps and %.1f%% > %.0f%% apart",
+					pi, gaps[pi], predLoad, si, gaps[si], detLoad, d, 100*kneeErr, 100*crossvalKneeRelTol)
+			}
+
+			// Adaptive traversal: same knee within one ladder step, with a
+			// full ladder of points (estimated ones fill the skipped levels).
+			ai := satIndex(ac)
+			if ai < 0 {
+				t.Fatal("adaptive curve found no saturation point")
+			}
+			if d := ai - si; d < -1 || d > 1 {
+				t.Errorf("adaptive knee at level %d (gap %g), uniform at %d (gap %g): more than one step apart",
+					ai, ac.Points[ai].MeanGap, si, gaps[si])
+			}
+			if len(ac.Points) != len(uc.Points) {
+				t.Errorf("adaptive curve has %d levels, uniform %d: estimated levels must fill the ladder",
+					len(ac.Points), len(uc.Points))
+			}
+			if ac.SimulatedLevels+ac.EstimatedLevels != len(ac.Points) {
+				t.Errorf("level accounting: %d simulated + %d estimated != %d points",
+					ac.SimulatedLevels, ac.EstimatedLevels, len(ac.Points))
+			}
+			simTotal += ac.SimulatedLevels
+			uniTotal += len(uc.Points)
+			t.Logf("adaptive: %d/%d levels simulated", ac.SimulatedLevels, len(uc.Points))
+		})
+	}
+	// The efficiency floor is a library-wide aggregate: every scenario
+	// contributes, and adaptive must simulate at least 40% fewer levels
+	// than uniform across the set.
+	saved := 1 - float64(simTotal)/float64(uniTotal)
+	t.Logf("library: adaptive simulated %d of %d uniform levels (%.0f%% fewer)", simTotal, uniTotal, 100*saved)
+	if saved < 0.40 {
+		t.Errorf("adaptive mode simulated %d of %d levels (%.0f%% fewer); the contract is >= 40%%",
+			simTotal, uniTotal, 100*saved)
+	}
+}

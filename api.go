@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"noctg/internal/amba"
+	"noctg/internal/analytic"
 	"noctg/internal/cache"
 	"noctg/internal/core"
 	"noctg/internal/exp"
@@ -346,6 +347,50 @@ type (
 	StatsRegistry = sim.Registry
 	// StatsCounter is a zero-allocation registry-resettable counter.
 	StatsCounter = sim.Counter
+)
+
+// Analytic-estimator types (the closed-form queueing model behind
+// adaptive curves, the grid pre-pass and the -print-scenarios columns).
+type (
+	// AnalyticSpec is one estimated configuration: fabric geometry plus the
+	// per-master traffic descriptors.
+	AnalyticSpec = analytic.Spec
+	// AnalyticEstimator is the compiled closed-form model for one spec.
+	AnalyticEstimator = analytic.Estimator
+	// AnalyticEstimate is a point prediction: zero-load latency, saturation
+	// knee, throughput ceiling and structural error bars.
+	AnalyticEstimate = analytic.Estimate
+	// AnalyticReport is the -analytic pre-pass artifact: every consulted
+	// configuration with its prediction (or rejection), in sweep order.
+	AnalyticReport = analytic.Report
+)
+
+// Analytic-estimator entry points.
+var (
+	// NewAnalyticEstimator compiles the closed-form model for a spec.
+	NewAnalyticEstimator = analytic.New
+	// SweepAnalyticSpec converts a stochastic sweep workload/fabric pair
+	// into the estimator's specification (same floorplan and traffic
+	// descriptors a simulation of the point would use).
+	SweepAnalyticSpec = sweep.AnalyticSpec
+	// SweepEstimator compiles the estimator for a workload/fabric pair.
+	SweepEstimator = sweep.NewEstimator
+	// SweepAnalyticReport predicts every distinct stochastic configuration
+	// in a point list.
+	SweepAnalyticReport = sweep.AnalyticReport
+	// PredictedKneeGap predicts the mean gap at which the curve-level
+	// saturation detector fires (resource knee or marginal-throughput
+	// knee, whichever is at lighter load).
+	PredictedKneeGap = sweep.PredictedKneeGap
+)
+
+// Curve traversal modes for CurveSpec.Mode.
+const (
+	// CurveModeUniform simulates every load level (the default).
+	CurveModeUniform = sweep.CurveModeUniform
+	// CurveModeAdaptive seeds levels from the analytic knee, simulates
+	// densely around it, and records skipped levels as estimated points.
+	CurveModeAdaptive = sweep.CurveModeAdaptive
 )
 
 // Generator-validation types (the fidelity harness: open-loop source

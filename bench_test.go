@@ -1133,3 +1133,71 @@ func (r *benchRAM) Perform(req *ocp.Request) ocp.Response {
 	copy(data, r.words[idx:int(idx)+req.Burst])
 	return ocp.Response{Data: data}
 }
+
+// --- analytic estimator & adaptive curves ---
+
+// benchCurveSpec is the shared load-latency curve configuration for the
+// adaptive-vs-uniform benchmark: the AMBA shared-bus scenario whose knee
+// the estimator predicts exactly, with short phased windows so one curve
+// stays in benchmark territory.
+func benchCurveSpec(mode string) sweep.CurveSpec {
+	return sweep.CurveSpec{
+		Name: "bench-" + mode,
+		Workload: sweep.Workload{
+			Kind: sweep.KindStochastic, Dist: "poisson", Cores: 4,
+			Pattern: "hotspot", PatternW: 2, PatternH: 2,
+			Hotspot: []float64{1, 0, 0, 0}, Count: 300,
+		},
+		Fabric:  sweep.Fabric{Interconnect: sweep.FabricAMBA},
+		Mode:    mode,
+		Measure: sweep.Measure{WarmupCycles: 500, EpochCycles: 1000, Epochs: 3},
+	}
+}
+
+// BenchmarkAnalyticEstimate measures the closed-form estimator's hot path:
+// one full point prediction (knee + error bars) plus one load-level solve.
+// The path is allocation-free (TestZeroAllocAnalyticEstimate pins it), so
+// the number here is pure arithmetic — the cost of replacing a simulated
+// load level with a predicted one.
+func BenchmarkAnalyticEstimate(b *testing.B) {
+	cs := benchCurveSpec(sweep.CurveModeAdaptive)
+	est, err := sweep.NewEstimator(cs.Workload, cs.Fabric)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := est.Estimate()
+		if est.LatencyAt(e.KneeGap+4) <= 0 {
+			b.Fatal("estimator returned a non-positive latency")
+		}
+	}
+}
+
+// BenchmarkAdaptiveCurve measures a whole load-latency curve in both
+// traversal modes on identical specs: the adaptive/uniform wall-clock
+// ratio is the sweep-level payoff of the analytic seeding (the adaptive
+// run simulates only the levels around the predicted knee).
+func BenchmarkAdaptiveCurve(b *testing.B) {
+	for _, mode := range []string{sweep.CurveModeUniform, sweep.CurveModeAdaptive} {
+		b.Run(mode, func(b *testing.B) {
+			cs := benchCurveSpec(mode)
+			var simulated int
+			for i := 0; i < b.N; i++ {
+				curves, err := sweep.Runner{Workers: 1}.RunCurves([]sweep.CurveSpec{cs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if curves[0].Saturation == nil {
+					b.Fatal("curve found no saturation point")
+				}
+				simulated = len(curves[0].Points)
+				if mode == sweep.CurveModeAdaptive {
+					simulated = curves[0].SimulatedLevels
+				}
+			}
+			b.ReportMetric(float64(simulated), "levels-simulated")
+		})
+	}
+}

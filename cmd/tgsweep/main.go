@@ -85,6 +85,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"noctg/internal/drain"
@@ -106,6 +107,8 @@ func main() {
 		printGrid  = flag.Bool("print-grid", false, "print the default grid JSON and exit")
 		printScen  = flag.Bool("print-scenarios", false, "print the scenario library JSON and exit")
 		curve      = flag.Bool("curve", false, "sweep injection load per scenario and emit load-latency curves (requires -scenario)")
+		curveMode  = flag.String("curve-mode", "", "curve traversal for every -curve scenario: uniform (simulate every level) or adaptive (seed from the analytic knee, simulate only around it); empty keeps each scenario's curve_mode")
+		analyticF  = flag.Bool("analytic", false, "analytic pre-pass: stochastic points the closed-form model brackets confidently are estimated instead of simulated (recorded with \"estimated\": true), and the predictions land in <out>.analytic.json")
 		paper      = flag.Bool("paper", false, "run the paper's experiments as one parallel invocation")
 		validate   = flag.Bool("validate", false, "run the generator-validation harness and write a fidelity report instead of sweeping")
 		sizesFlag  = flag.String("sizes", "default", "benchmark sizes for -paper: quick or default")
@@ -133,6 +136,11 @@ func main() {
 	if *resume && *journalF == "" {
 		fail(fmt.Errorf("-resume requires -journal FILE"))
 	}
+	switch *curveMode {
+	case "", sweep.CurveModeUniform, sweep.CurveModeAdaptive:
+	default:
+		fail(fmt.Errorf("-curve-mode %q: want uniform or adaptive", *curveMode))
+	}
 
 	// Profiles are written on the success path only: fail() exits the
 	// process without running defers.
@@ -146,7 +154,9 @@ func main() {
 		return
 	}
 	if *printScen {
-		fail(writeJSONIndent(os.Stdout, scenario.Library()))
+		specs := scenario.Library()
+		printPredictions(specs)
+		fail(writeJSONIndent(os.Stdout, specs))
 		return
 	}
 	if *paper {
@@ -173,7 +183,7 @@ func main() {
 			if *journalF != "" {
 				fail(fmt.Errorf("-journal supports grid/scenario sweeps, not -curve"))
 			}
-			runCurves(specs, *workers, *maxCycles, *out, kernel, *shards, gcfg, rpol, *onViol)
+			runCurves(specs, *curveMode, *workers, *maxCycles, *out, kernel, *shards, gcfg, rpol, *onViol)
 			return
 		}
 		var err error
@@ -193,6 +203,16 @@ func main() {
 			fail(err)
 		}
 		points = grid.Expand()
+	}
+	if *analyticF {
+		marked := 0
+		for i := range points {
+			if points[i].Workload.Kind == sweep.KindStochastic {
+				points[i].Analytic = true
+				marked++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "tgsweep: analytic pre-pass armed on %d/%d points\n", marked, len(points))
 	}
 	fmt.Fprintf(os.Stderr, "tgsweep: %d configurations, %d workers\n", len(points), *workers)
 
@@ -237,6 +257,16 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "tgsweep: %d/%d points ok in %v\n", len(results)-failed, len(results), wall.Round(time.Millisecond))
+	if *analyticF {
+		estimated := 0
+		for _, r := range results {
+			if r.Estimated {
+				estimated++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "tgsweep: analytic pre-pass estimated %d/%d points (simulated %d)\n",
+			estimated, len(results), len(results)-estimated)
+	}
 
 	if *out == "-" {
 		fail(sweep.WriteJSON(os.Stdout, results))
@@ -245,7 +275,56 @@ func main() {
 	}
 	fail(sweep.WriteArtifacts(*out, results))
 	fmt.Fprintf(os.Stderr, "tgsweep: wrote %s.json and %s.csv\n", *out, *out)
+	if *analyticF {
+		rep := sweep.AnalyticReport(points)
+		f, err := os.Create(*out + ".analytic.json")
+		fail(err)
+		fail(rep.WriteJSON(f))
+		fail(f.Close())
+		fmt.Fprintf(os.Stderr, "tgsweep: wrote %s.analytic.json (%d predictions)\n", *out, len(rep.Entries))
+	}
 	exitViolations(violated, *onViol)
+}
+
+// printPredictions renders the closed-form prediction per scenario — the
+// zero-load latency and saturation knee, no simulation — as a table on
+// stderr, leaving stdout pure JSON for piping.
+func printPredictions(specs []scenario.Spec) {
+	pts, err := scenario.Points(specs)
+	if err != nil {
+		return
+	}
+	// One representative point per scenario: the first point of each
+	// scenario's expansion carries its lightest configured load.
+	byLabel := make(map[string]sweep.Point)
+	var labels []string
+	for _, p := range pts {
+		key := p.Workload.Label() + " @ " + p.Fabric.Label()
+		if _, ok := byLabel[key]; !ok {
+			byLabel[key] = p
+			labels = append(labels, key)
+		}
+	}
+	tw := tabwriter.NewWriter(os.Stderr, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "scenario\tzero-load lat\tknee gap\tknee offered\tsat ceiling\n")
+	fmt.Fprintf(tw, "\t(cycles)\t(cycles)\t(txn/kcycle)\t(txn/kcycle)\n")
+	for _, key := range labels {
+		p := byLabel[key]
+		est, err := sweep.NewEstimator(p.Workload, p.Fabric)
+		if err != nil {
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\n", key)
+			continue
+		}
+		e := est.Estimate()
+		// The continuous knee: resource saturation when the bottleneck
+		// fills first, the marginal-throughput knee when the closed-loop
+		// population self-limits before any resource does.
+		kg := sweep.PredictedKneeGap(est)
+		knee := fmt.Sprintf("%.1f", kg)
+		offered := fmt.Sprintf("%.1f", float64(est.Spec().Traffic.Masters)*1000/(kg+1))
+		fmt.Fprintf(tw, "%s\t%.1f\t%s\t%s\t%.1f\n", key, e.ZeroLoadLatency, knee, offered, e.SatThroughputTPK)
+	}
+	tw.Flush()
 }
 
 // guardConfig resolves the -guard/-run-budget/-on-violation flags into a
@@ -297,9 +376,17 @@ func retryPolicy(retries int, backoff, deadline time.Duration) (*sweep.RetryPoli
 
 // runCurves sweeps each scenario's injection load and writes load-latency
 // curve artifacts (<out>.json / <out>.csv, or JSON on stdout with "-").
-func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string, kernel platform.KernelMode, shards int, gcfg *guard.Config, rpol *sweep.RetryPolicy, onViol string) {
+func runCurves(specs []scenario.Spec, mode string, workers int, maxCycles uint64, out string, kernel platform.KernelMode, shards int, gcfg *guard.Config, rpol *sweep.RetryPolicy, onViol string) {
 	css, err := scenario.Curves(specs)
 	fail(err)
+	if skipped := len(specs) - len(css); skipped > 0 {
+		fmt.Fprintf(os.Stderr, "tgsweep: %d arrival-process scenarios have no load axis to curve; skipped\n", skipped)
+	}
+	if mode != "" {
+		for i := range css {
+			css[i].Mode = mode
+		}
+	}
 	levels := 0
 	for _, cs := range css {
 		levels += len(cs.Gaps)
@@ -319,6 +406,10 @@ func runCurves(specs []scenario.Spec, workers int, maxCycles uint64, out string,
 				c.Name, c.Saturation.MeanGap, c.Saturation.ThroughputTPK)
 		} else {
 			fmt.Fprintf(os.Stderr, "tgsweep: %s shows no saturation on its load axis\n", c.Name)
+		}
+		if c.Mode == sweep.CurveModeAdaptive {
+			fmt.Fprintf(os.Stderr, "tgsweep: %s adaptive: %d levels simulated, %d estimated\n",
+				c.Name, c.SimulatedLevels, c.EstimatedLevels)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "tgsweep: %d/%d curves saturated in %v\n", sat, len(curves), time.Since(start).Round(time.Millisecond))

@@ -95,6 +95,49 @@
 // byte-identical across kernels and worker counts, so the whole suite
 // runs as deterministic CI tests rather than flaky statistics.
 //
+// # Analytic estimation and adaptive sweeps
+//
+// A closed-form queueing estimator (internal/analytic, surfaced as
+// AnalyticEstimator) predicts a stochastic configuration's operating
+// corner without simulating it: contention-free zero-load latency from
+// the fabric's pipeline constants and DOR route lengths, per-resource
+// occupancy (bus, links, slave ports) from the destination distribution,
+// the saturation knee from the bottleneck's demand, and below-knee mean
+// latency from a Schweitzer approximate-MVA fixed point over the closed
+// population of masters, with the gap distribution's SCV scaling the
+// waiting term. Model assumptions, and where they bite: single-beat
+// transactions; posted writes charged to resource occupancy but not the
+// issuing master's own latency (so heavy-write self-interference is
+// underpredicted by ~10-15%); independence across resources (weakest
+// under extreme destination skew); renewal arrivals (MMPP/self-similar
+// sources enter only through their gap SCV). Each Estimate carries
+// structural error bars (KneeRelErr, LatencyRelErr) that widen with
+// burstiness and skew, and a validity floor (ValidMinGap) below which
+// LatencyAt returns the closed-loop asymptote rather than a steady-state
+// mean. Like the fabrics themselves, the model is class-blind: message
+// classes shape injection only, Request.Class is forwarded untouched and
+// never arbitrated on (see ROADMAP, class-aware arbitration), so every
+// class shares one predicted latency and the per-class split is an
+// injection-mix share.
+//
+// The sweep layer spends these predictions in three places. Curve runs
+// (CurveModeAdaptive, tgsweep -curve-mode adaptive) seed their load axis
+// from the knee the saturation detector would find on the model's own
+// curve, simulate a handful of levels around it plus the axis endpoints,
+// and golden-section the bracket until the detected knee is pinned to one
+// ladder step — skipped levels are recorded as estimated points, never
+// dropped, and the cross-validation suite holds the detected knee within
+// one step of a uniform traversal at 40%+ fewer simulated levels. Grid
+// sweeps (GridSpec.Analytic, tgsweep -analytic) estimate points the model
+// brackets confidently — far from the predicted knee, error bars included
+// — and simulate the rest; estimated results are flagged ("estimated":
+// true), carry the full prediction, and key the journal distinctly, so
+// analytic and simulated campaigns never share resume state. And tgsweep
+// -print-scenarios tables each scenario's predicted zero-load latency and
+// knee without running anything. All predictions are pure functions of
+// the configuration: artifacts stay byte-identical across kernels, worker
+// counts and shard counts, and the estimator's hot path allocates nothing.
+//
 // # Simulation kernels
 //
 // Three cycle-advance strategies drive every platform

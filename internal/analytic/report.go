@@ -1,0 +1,33 @@
+package analytic
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Entry pairs one estimated configuration with its prediction.
+type Entry struct {
+	// Label identifies the workload/fabric pair in the sweep's own
+	// labelling scheme.
+	Label    string   `json:"label"`
+	Spec     Spec     `json:"spec"`
+	Estimate Estimate `json:"estimate"`
+	// Err records a configuration the estimator rejected (the entry then
+	// carries no prediction); estimation failures are reported, never
+	// silently dropped.
+	Err string `json:"err,omitempty"`
+}
+
+// Report is the analytic-pre-pass artifact: every configuration the
+// estimator was consulted about, in sweep order.
+type Report struct {
+	Entries []Entry `json:"entries"`
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline,
+// matching the sweep layer's artifact conventions.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,140 @@
+package noc
+
+import "fmt"
+
+// Exported port directions for route enumeration. They alias the internal
+// router port constants, so a Hop's Port can be compared against these and
+// printed with PortName.
+const (
+	PortN = portN
+	PortE = portE
+	PortS = portS
+	PortW = portW
+	PortL = portL
+	// NumPorts is the per-router port count (N, E, S, W, local).
+	NumPorts = numPorts
+)
+
+// PortName returns the compass name of a router output port.
+func PortName(p int) string {
+	switch p {
+	case portN:
+		return "N"
+	case portE:
+		return "E"
+	case portS:
+		return "S"
+	case portW:
+		return "W"
+	case portL:
+		return "L"
+	}
+	return fmt.Sprintf("port(%d)", p)
+}
+
+// FlitCounts returns the request and response packet lengths in flits for
+// a transaction of the given kind and burst — the exact lengths the live
+// NIs build (reqFlits/respFlits), exported so channel-load enumeration
+// weighs each route by the true flit volume. Writes are posted: their
+// response length is 0 because no response packet crosses the fabric.
+func FlitCounts(write bool, burst int) (req, resp int) {
+	if write {
+		return 2 + burst, 0
+	}
+	return 2, 2 + burst
+}
+
+// Hop is one step of a route: the router and the output port its flits
+// leave through. The final hop of every route is (dst, PortL) — the
+// ejection into the destination node's network interface.
+type Hop struct {
+	Node int
+	Port int
+}
+
+// NextPort returns the output port a packet at router cur takes toward dst
+// under the fabric's dimension-ordered routing: X first then Y on the
+// mesh, shortest way around each ring (ties toward east/south) on the
+// torus. It returns PortL when cur == dst. The logic mirrors the live
+// router's route decision exactly; TestRouteMatchesRouter pins the
+// equivalence, so analytic channel-load enumeration and the simulated
+// fabric can never drift apart.
+func (c Config) NextPort(cur, dst int) int {
+	c = c.WithDefaults()
+	w, h := c.Width, c.Height
+	dx := (dst % w) - (cur % w)
+	dy := (dst / w) - (cur / w)
+	if c.Topology == Torus {
+		if dx != 0 {
+			if e := ((dx % w) + w) % w; 2*e <= w {
+				return portE
+			}
+			return portW
+		}
+		if dy != 0 {
+			if s := ((dy % h) + h) % h; 2*s <= h {
+				return portS
+			}
+			return portN
+		}
+		return portL
+	}
+	switch {
+	case dx > 0:
+		return portE
+	case dx < 0:
+		return portW
+	case dy > 0:
+		return portS
+	case dy < 0:
+		return portN
+	}
+	return portL
+}
+
+// step returns the router one hop from cur through port p (wrap-aware).
+func (c Config) step(cur, p int) int {
+	w, h := c.Width, c.Height
+	x, y := cur%w, cur/w
+	switch p {
+	case portE:
+		x = (x + 1) % w
+	case portW:
+		x = (x - 1 + w) % w
+	case portS:
+		y = (y + 1) % h
+	case portN:
+		y = (y - 1 + h) % h
+	}
+	return y*w + x
+}
+
+// Route appends the src→dst hop sequence to path and returns it. Every
+// directed link the packet's flits traverse appears once: each
+// intermediate (router, output-port) pair plus the final (dst, PortL)
+// ejection. src == dst yields the single ejection hop. The injection link
+// (NI into src's local input port) is implicit — it is a per-node
+// resource, not a router output.
+func (c Config) Route(src, dst int, path []Hop) []Hop {
+	c = c.WithDefaults()
+	cur := src
+	for {
+		p := c.NextPort(cur, dst)
+		path = append(path, Hop{Node: cur, Port: p})
+		if p == portL {
+			return path
+		}
+		cur = c.step(cur, p)
+	}
+}
+
+// RouteLen returns the hop distance from src to dst (router-to-router
+// link traversals, excluding the local ejection).
+func (c Config) RouteLen(src, dst int) int {
+	c = c.WithDefaults()
+	n := 0
+	for cur := src; cur != dst; n++ {
+		cur = c.step(cur, c.NextPort(cur, dst))
+	}
+	return n
+}

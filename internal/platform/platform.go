@@ -387,6 +387,15 @@ func Build(cfg Config, factory MasterFactory) (*System, error) {
 	return s, nil
 }
 
+// AutoMesh returns the mesh dimensions Build auto-sizes for the given
+// core count when Config.NoC leaves both Width and Height zero. Exported
+// so the analytic estimator can reproduce the exact floorplan of an
+// auto-sized point without building it.
+func AutoMesh(cores int) (w, h int) {
+	c := autoMesh(cores)
+	return c.Width, c.Height
+}
+
 // autoMesh returns the smallest of the stock mesh sizes that fits
 // cores masters + cores+2 slaves.
 func autoMesh(cores int) noc.Config {

@@ -107,6 +107,10 @@ type Spec struct {
 	// (tgsweep -curve); empty selects sweep.DefaultCurveGaps. Ignored by
 	// plain scenario sweeps, which use MeanGaps.
 	CurveGaps []float64 `json:"curve_gaps,omitempty"`
+	// CurveMode selects the curve traversal (sweep.CurveModeUniform or
+	// sweep.CurveModeAdaptive); empty means uniform. A CLI -curve-mode
+	// flag overrides it for the whole run.
+	CurveMode string `json:"curve_mode,omitempty"`
 }
 
 // withDefaults resolves the optional fields. An arrival-process scenario
@@ -326,6 +330,7 @@ func (s Spec) Curve() (sweep.CurveSpec, error) {
 		Workload: s.withDefaults().workloads()[0],
 		Fabric:   s.fabric(),
 		Gaps:     s.CurveGaps,
+		Mode:     s.CurveMode,
 		Measure:  m,
 		Retry:    s.Retry,
 	}
@@ -341,15 +346,28 @@ func (s Spec) Curve() (sweep.CurveSpec, error) {
 	return cs, nil
 }
 
+// Curveable reports whether the scenario can compile into a load-latency
+// curve: arrival-process scenarios cannot, because their load lives in
+// the process parameters rather than a mean-gap axis.
+func (s Spec) Curveable() bool {
+	return s.Arrival == nil
+}
+
 // Curves compiles a scenario list into curve specifications, in order.
+// Arrival-process scenarios have no mean-gap load axis to sweep, so they
+// are skipped rather than failing the whole list — a library run curves
+// every scenario that can be curved.
 func Curves(specs []Spec) ([]sweep.CurveSpec, error) {
-	out := make([]sweep.CurveSpec, len(specs))
+	out := make([]sweep.CurveSpec, 0, len(specs))
 	for i, s := range specs {
+		if !s.Curveable() {
+			continue
+		}
 		cs, err := s.Curve()
 		if err != nil {
 			return nil, fmt.Errorf("scenario %d: %w", i, err)
 		}
-		out[i] = cs
+		out = append(out, cs)
 	}
 	return out, nil
 }

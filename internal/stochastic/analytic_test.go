@@ -1,0 +1,182 @@
+package stochastic
+
+import (
+	"math"
+	"testing"
+)
+
+// almost compares floats to a relative tolerance.
+func almost(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Abs(want)+1e-12 {
+		t.Errorf("%s = %g, want %g (±%g rel)", name, got, want, tol)
+	}
+}
+
+func TestMeanGapCycles(t *testing.T) {
+	// Dist-based configs report the (defaulted) drawn mean directly.
+	almost(t, "default gap", Config{}.MeanGapCycles(), 10, 0)
+	almost(t, "explicit gap", Config{MeanGap: 7}.MeanGapCycles(), 7, 0)
+
+	// MMPP: the stock on/off chain {3,0}×{80,160} injects every 3 cycles
+	// for 1/3 of the time, so rate = (80/240)/3 = 1/9 and mean gap 9.
+	onoff := &MMPP{StateGaps: []float64{3, 0}, StateDwells: []float64{80, 160}}
+	almost(t, "mmpp gap", Config{MMPP: onoff}.MeanGapCycles(), 9, 1e-12)
+
+	// Self-similar: 8 stations on 1/3 of the time at peak rate 1/4 →
+	// aggregate rate 8/12 = 2/3, mean gap 1.5.
+	ss := &SelfSimilar{Sources: 8, Hurst: 0.8, OnMean: 50, OffMean: 100, PeakGap: 4}
+	almost(t, "selfsim gap", Config{SelfSimilar: ss}.MeanGapCycles(), 1.5, 1e-12)
+
+	// A chain with no injecting state has rate 0: the mean gap is
+	// infinite, never a division panic. (Validate rejects such chains;
+	// the descriptor must still be total.)
+	silent := &MMPP{StateGaps: []float64{0, 0}, StateDwells: []float64{10, 10}}
+	if g := (Config{MMPP: silent}).MeanGapCycles(); !math.IsInf(g, 1) {
+		t.Errorf("silent MMPP mean gap = %g, want +Inf", g)
+	}
+	dead := &SelfSimilar{Sources: 0, OnMean: 1, OffMean: 1, PeakGap: 4}
+	if g := (Config{SelfSimilar: dead}).MeanGapCycles(); !math.IsInf(g, 1) {
+		t.Errorf("zero-source self-similar mean gap = %g, want +Inf", g)
+	}
+}
+
+func TestGapSCVDist(t *testing.T) {
+	// Exact second moments of the draw distributions.
+	almost(t, "uniform", Config{Dist: Uniform}.GapSCV(), 1.0/3, 1e-12)
+	// Gaussian default sd = mean/4 → SCV 1/16.
+	almost(t, "gaussian default", Config{Dist: Gaussian}.GapSCV(), 1.0/16, 1e-12)
+	almost(t, "gaussian explicit", Config{Dist: Gaussian, MeanGap: 10, StdDev: 5}.GapSCV(), 0.25, 1e-12)
+	almost(t, "poisson", Config{Dist: Poisson}.GapSCV(), 1, 0)
+	// Bursty: B-1 zero gaps then one Exp(m·B) gap → SCV = 2B−1.
+	almost(t, "bursty default", Config{Dist: Bursty}.GapSCV(), 15, 1e-12)
+	almost(t, "bursty B=4", Config{Dist: Bursty, BurstLen: 4}.GapSCV(), 7, 1e-12)
+	if scv := (Config{Dist: Dist(99)}).GapSCV(); scv != 0 {
+		t.Errorf("unknown dist SCV = %g, want 0", scv)
+	}
+}
+
+func TestGapSCVMMPP(t *testing.T) {
+	// Hand computation for the stock on/off chain {3,0}×{80,160} with
+	// exponential dwells: n = 80/3 arrivals per cycle of the chain,
+	// m1 = 80, m2 = n·2·3² = 480, silent mass E[span²] = 2·160².
+	// mean = 3, E[g²] = (480 + 51200)/(80/3) = 1938, SCV = 1938/9 − 1.
+	onoff := MMPP{StateGaps: []float64{3, 0}, StateDwells: []float64{80, 160}}
+	almost(t, "on/off exp", mmppGapSCV(onoff), 1938.0/9-1, 1e-9)
+
+	// Deterministic dwells: the silent span contributes d² not 2d², so
+	// E[g²] = (480 + 25600)/(80/3) = 978, SCV = 978/9 − 1.
+	det := onoff
+	det.Deterministic = true
+	almost(t, "on/off det", mmppGapSCV(det), 978.0/9-1, 1e-9)
+
+	// The descriptor reaches Config.GapSCV through the MMPP arm.
+	almost(t, "via Config", Config{MMPP: &onoff}.GapSCV(), 1938.0/9-1, 1e-9)
+
+	// All-silent chains produce no arrivals: SCV degrades to 0.
+	if scv := mmppGapSCV(MMPP{StateGaps: []float64{0, 0}, StateDwells: []float64{10, 10}}); scv != 0 {
+		t.Errorf("silent chain SCV = %g, want 0", scv)
+	}
+
+	// A single always-on exponential state is plain Poisson: SCV 1.
+	poisson := MMPP{StateGaps: []float64{5, 5}, StateDwells: []float64{100, 100}}
+	almost(t, "always-on", mmppGapSCV(poisson), 1, 1e-9)
+}
+
+func TestGapSCVSelfSimilar(t *testing.T) {
+	// One station: the active-count mixture collapses to a single
+	// exponential (SCV 1) scaled by the Hurst inflation factor
+	// 1 + (H−0.5)/0.45, which is exactly 2 at H = 0.95.
+	one := SelfSimilar{Sources: 1, Hurst: 0.95, OnMean: 50, OffMean: 50, PeakGap: 4}
+	almost(t, "single station H=0.95", selfSimGapSCV(one), 2, 1e-9)
+	one.Hurst = 0.5
+	almost(t, "single station H=0.5", selfSimGapSCV(one), 1, 1e-9)
+
+	// Superposition is burstier than any single station, and burstiness
+	// must grow with the Hurst target.
+	lo := SelfSimilar{Sources: 8, Hurst: 0.6, OnMean: 50, OffMean: 100, PeakGap: 4}
+	hi := lo
+	hi.Hurst = 0.9
+	sLo, sHi := selfSimGapSCV(lo), selfSimGapSCV(hi)
+	if !(sHi > sLo) || sLo <= 0 {
+		t.Errorf("Hurst monotonicity: SCV(H=0.6)=%g, SCV(H=0.9)=%g", sLo, sHi)
+	}
+	almost(t, "via Config", Config{SelfSimilar: &hi}.GapSCV(), sHi, 1e-12)
+
+	// No stations → no mixture: the approximation falls back to SCV 1.
+	if scv := selfSimGapSCV(SelfSimilar{Sources: 0, OnMean: 1, OffMean: 1, PeakGap: 4}); scv != 1 {
+		t.Errorf("zero-source SCV = %g, want 1", scv)
+	}
+}
+
+func TestResolvedFillsDefaults(t *testing.T) {
+	r := Config{}.Resolved()
+	if r.MeanGap != 10 || r.StdDev != 2.5 || r.BurstLen != 8 || r.ReadFraction != 0.6 || r.Count != 1000 {
+		t.Errorf("Resolved defaults = %+v", r)
+	}
+	// Explicit values survive.
+	r = Config{MeanGap: 4, ReadFraction: 0.9}.Resolved()
+	if r.MeanGap != 4 || r.ReadFraction != 0.9 {
+		t.Errorf("Resolved clobbered explicit values: %+v", r)
+	}
+}
+
+func TestDestProbs(t *testing.T) {
+	checkSum := func(t *testing.T, probs []float64) {
+		t.Helper()
+		sum := 0.0
+		for _, p := range probs {
+			sum += p
+		}
+		almost(t, "probability mass", sum, 1, 1e-9)
+	}
+
+	// Deterministic pattern: all mass on the transpose target.
+	sp, err := NewSampler(Spatial{Pattern: Transpose, W: 2, H: 2, Dests: dests(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := sp.DestProbs(1, nil)
+	checkSum(t, probs)
+	if probs[2] != 1 { // (1,0) ↔ (0,1)
+		t.Errorf("transpose probs = %v, want all mass on node 2", probs)
+	}
+
+	// Uniform random: equal mass over every node but the source.
+	sp, err = NewSampler(Spatial{Pattern: UniformRandom, W: 2, H: 2, Dests: dests(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs = sp.DestProbs(0, probs) // exercise slice reuse
+	checkSum(t, probs)
+	if probs[0] != 0 || probs[1] != probs[2] || probs[2] != probs[3] {
+		t.Errorf("uniform probs = %v", probs)
+	}
+
+	// Hotspot: the weighted node takes its mass, the cold remainder is
+	// split over the source's candidate set.
+	sp, err = NewSampler(Spatial{Pattern: Hotspot, W: 2, H: 2, Dests: dests(4), HotspotWeights: []float64{0, 0, 0, 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs = sp.DestProbs(0, probs)
+	checkSum(t, probs)
+	almost(t, "hotspot node", probs[3], 0.6, 1e-12)
+	almost(t, "cold node 1", probs[1], 0.2, 1e-12)
+	almost(t, "cold node 2", probs[2], 0.2, 1e-12)
+
+	// Every node weighted with a float-accumulation shortfall: Dest folds
+	// the tail onto the last hotspot, and DestProbs must mirror it so the
+	// mass still sums to exactly 1.
+	w := 0.25 - 2.5e-11
+	sp, err = NewSampler(Spatial{Pattern: Hotspot, W: 2, H: 2, Dests: dests(4),
+		HotspotWeights: []float64{w, w, w, w}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs = sp.DestProbs(0, probs)
+	checkSum(t, probs)
+	if probs[3] <= probs[1] {
+		t.Errorf("fold target: probs = %v, want the remainder on the last hotspot", probs)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 
+	"noctg/internal/analytic"
 	"noctg/internal/guard"
 )
 
@@ -43,6 +45,23 @@ const (
 	satMarginalFrac  = 0.15
 )
 
+// Curve modes.
+const (
+	// CurveModeUniform simulates every level of the load axis (the
+	// default; the empty string means the same).
+	CurveModeUniform = "uniform"
+	// CurveModeAdaptive simulates a subset of the axis: the lightest
+	// level (the latency baseline), a cluster seeded at the analytic
+	// knee prediction, and the heaviest level, then refines the knee
+	// bracket by golden-section interval splitting until the first
+	// saturated level and its nearest lighter simulated level are
+	// adjacent on the axis — so the detected knee compares the same
+	// neighbouring levels uniform mode would. Skipped levels are
+	// recorded as estimated points carrying the model's predictions,
+	// never dropped.
+	CurveModeAdaptive = "adaptive"
+)
+
 // CurveSpec names one load–latency curve: a stochastic workload whose
 // MeanGap axis is swept over Gaps, one fabric, and the phased measurement
 // configuration applied at every load level.
@@ -66,6 +85,9 @@ type CurveSpec struct {
 	// Retry is the per-level retry/deadline policy (see RetryPolicy); the
 	// runner-level policy overrides it.
 	Retry *RetryPolicy `json:"retry,omitempty"`
+	// Mode selects CurveModeUniform (default) or CurveModeAdaptive. The
+	// mode is result-determining: adaptive curves carry estimated points.
+	Mode string `json:"mode,omitempty"`
 }
 
 // withDefaults resolves the optional axes.
@@ -111,6 +133,17 @@ func (cs CurveSpec) Validate() error {
 	if err := d.Retry.Validate(); err != nil {
 		return fmt.Errorf("sweep: curve %q: %w", cs.Name, err)
 	}
+	switch d.Mode {
+	case "", CurveModeUniform:
+	case CurveModeAdaptive:
+		// The adaptive planner needs a compilable estimator; surface the
+		// failure at validation, not mid-sweep.
+		if _, err := NewEstimator(d.Workload, d.Fabric); err != nil {
+			return fmt.Errorf("sweep: curve %q: %w", cs.Name, err)
+		}
+	default:
+		return fmt.Errorf("sweep: curve %q: unknown mode %q", cs.Name, d.Mode)
+	}
 	return nil
 }
 
@@ -137,6 +170,10 @@ type CurvePoint struct {
 	// curve-level detector; see Curve.Saturation).
 	Saturated bool   `json:"saturated"`
 	Err       string `json:"err,omitempty"`
+	// Estimated marks a level the adaptive planner skipped: its latency
+	// and throughput are the analytic model's predictions, not
+	// measurements (Reads/Epochs stay zero). Uniform curves never set it.
+	Estimated bool `json:"estimated,omitempty"`
 	// Violation carries the structured guard diagnostic — watchdog
 	// violation or recovered worker panic — with the level's identity
 	// (curve name, gap) prefixed onto its message, so a failed curve level
@@ -164,8 +201,18 @@ type Curve struct {
 	Seed          int64        `json:"seed"`
 	Points        []CurvePoint `json:"points"`
 	// Saturation is the detected saturation point (nil when no level
-	// saturated — extend the load axis).
+	// saturated — extend the load axis). For adaptive curves it always
+	// names a simulated level.
 	Saturation *SaturationPoint `json:"saturation,omitempty"`
+	// Mode is CurveModeAdaptive for adaptively-sampled curves (empty for
+	// uniform, keeping legacy artifacts byte-identical);
+	// SimulatedLevels/EstimatedLevels log the adaptive planner's savings.
+	Mode            string `json:"mode,omitempty"`
+	SimulatedLevels int    `json:"simulated_levels,omitempty"`
+	EstimatedLevels int    `json:"estimated_levels,omitempty"`
+	// Analytic carries the model prediction that seeded the adaptive
+	// planner.
+	Analytic *analytic.Estimate `json:"analytic,omitempty"`
 }
 
 // RunCurve measures one load–latency curve, parallelising the load levels
@@ -180,7 +227,10 @@ func (r Runner) RunCurve(spec CurveSpec) (Curve, error) {
 
 // RunCurves measures a set of curves, parallelising every (curve, load
 // level) pair over one worker pool. Results are deterministic and ordered
-// by input spec regardless of worker count.
+// by input spec regardless of worker count: adaptive curves advance in
+// lockstep rounds, so every round's task list — and therefore every
+// simulated level — is a pure function of earlier results, never of
+// worker scheduling.
 func (r Runner) RunCurves(specs []CurveSpec) ([]Curve, error) {
 	resolved := make([]CurveSpec, len(specs))
 	for i, cs := range specs {
@@ -195,37 +245,248 @@ func (r Runner) RunCurves(specs []CurveSpec) ([]Curve, error) {
 		resolved[i].Gaps = gaps
 	}
 
-	type level struct{ spec, gap int }
-	var levels []level
-	for si, cs := range resolved {
-		for gi := range cs.Gaps {
-			levels = append(levels, level{spec: si, gap: gi})
+	states := make([]*curveState, len(resolved))
+	for i := range resolved {
+		st := &curveState{cs: resolved[i], sim: map[int]CurvePoint{}}
+		if resolved[i].Mode == CurveModeAdaptive {
+			est, err := NewEstimator(resolved[i].Workload, resolved[i].Fabric)
+			if err != nil {
+				return nil, fmt.Errorf("curve %q: %w", resolved[i].Name, err)
+			}
+			st.est = est
+			estimate := est.Estimate()
+			st.estimate = &estimate
 		}
+		states[i] = st
 	}
+
+	type level struct{ spec, gap int }
 	cache := &programCache{}
-	pts, err := Map(r.Workers, levels, func(_ int, l level) (CurvePoint, error) {
-		return r.runCurveLevel(cache, resolved[l.spec], resolved[l.spec].Gaps[l.gap]), nil
-	})
-	if err != nil {
-		return nil, err
+	for {
+		var levels []level
+		for si, st := range states {
+			for _, gi := range st.nextLevels() {
+				levels = append(levels, level{spec: si, gap: gi})
+			}
+		}
+		if len(levels) == 0 {
+			break
+		}
+		pts, err := Map(r.Workers, levels, func(_ int, l level) (CurvePoint, error) {
+			return r.runCurveLevel(cache, resolved[l.spec], resolved[l.spec].Gaps[l.gap]), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for k, l := range levels {
+			states[l.spec].sim[l.gap] = pts[k]
+		}
 	}
 
 	curves := make([]Curve, len(resolved))
-	k := 0
-	for si, cs := range resolved {
-		c := Curve{
-			Name:          cs.Name,
-			Workload:      cs.Workload.Label(),
-			Fabric:        cs.Fabric.Label(),
-			ClockPeriodNS: cs.ClockPeriodNS,
-			Seed:          cs.Seed,
-			Points:        pts[k : k+len(cs.Gaps) : k+len(cs.Gaps)],
-		}
-		k += len(cs.Gaps)
-		c.Saturation = detectSaturation(c.Points)
-		curves[si] = c
+	for si, st := range states {
+		curves[si] = st.assemble()
 	}
 	return curves, nil
+}
+
+// curveState tracks one curve's progress through the lockstep rounds.
+type curveState struct {
+	cs       CurveSpec
+	est      *analytic.Estimator // adaptive only
+	estimate *analytic.Estimate
+	sim      map[int]CurvePoint // simulated levels by axis index
+	seeded   bool
+}
+
+// nextLevels returns the axis indices to simulate this round (empty when
+// the curve is complete). Uniform curves run the whole axis in round
+// zero; adaptive curves seed knee-centred levels, then refine.
+func (st *curveState) nextLevels() []int {
+	n := len(st.cs.Gaps)
+	if st.est == nil {
+		if st.seeded {
+			return nil
+		}
+		st.seeded = true
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	if !st.seeded {
+		st.seeded = true
+		k := st.kneeIndex()
+		pick := map[int]bool{0: true, n - 1: true}
+		for _, i := range []int{k - 1, k, k + 1} {
+			if i >= 0 && i < n {
+				pick[i] = true
+			}
+		}
+		idx := make([]int, 0, len(pick))
+		for i := range pick {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		return idx
+	}
+	if len(st.sim) == n {
+		return nil
+	}
+	s, p := st.satBracket()
+	if s < 0 || p < 0 {
+		return nil
+	}
+	if p == s-1 {
+		// The bracket is tight, but the detection at s is only trustworthy
+		// if the adjacent step into s-1 was also inspected: the marginal
+		// criterion compares neighbouring levels, and a subsequence that
+		// skips s-2 could place the first trigger one step late. Confirm
+		// with s-2 before declaring the knee.
+		if s-1 > 0 {
+			if _, ok := st.sim[s-2]; !ok {
+				return []int{s - 2}
+			}
+		}
+		return nil
+	}
+	// Golden-section interior split of the (p, s) bracket, snapped to the
+	// nearest unsimulated axis index.
+	m := s - int(math.Round(0.618*float64(s-p)))
+	if m <= p {
+		m = p + 1
+	}
+	if m >= s {
+		m = s - 1
+	}
+	for d := 0; d < n; d++ {
+		for _, c := range []int{m - d, m + d} {
+			if c > p && c < s {
+				if _, ok := st.sim[c]; !ok {
+					return []int{c}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// kneeIndex seeds the adaptive traversal: the axis index where the
+// saturation detector, run on the model's own predicted curve over this
+// ladder, first fires. That mirrors the operational definition a uniform
+// run is judged by, ladder quantization included. When the model's curve
+// never trips the detector, fall back to the continuous knee prediction
+// snapped to the nearest gap (ties toward lighter load, where simulation
+// is cheaper).
+func (st *curveState) kneeIndex() int {
+	if k := PredictSaturationIndex(st.est, st.cs.Gaps); k >= 0 {
+		return k
+	}
+	knee := PredictedKneeGap(st.est)
+	best, bestDist := len(st.cs.Gaps)-1, math.Inf(1)
+	for i, g := range st.cs.Gaps {
+		if d := math.Abs(g - knee); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// simSeq returns the simulated levels in axis order, plus their axis
+// indices.
+func (st *curveState) simSeq() ([]CurvePoint, []int) {
+	idx := make([]int, 0, len(st.sim))
+	for i := range st.sim {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	seq := make([]CurvePoint, len(idx))
+	for k, i := range idx {
+		seq[k] = st.sim[i]
+	}
+	return seq, idx
+}
+
+// satBracket runs the saturation detector on the simulated subsequence
+// and returns (axis index of the first saturated level, axis index of
+// the nearest lighter error-free simulated level). s = -1 when nothing
+// saturated; p = -1 when no lighter level exists.
+func (st *curveState) satBracket() (s, p int) {
+	seq, idx := st.simSeq()
+	sat := detectSaturation(seq)
+	if sat == nil {
+		return -1, -1
+	}
+	s = idx[sat.Index]
+	p = -1
+	for k := sat.Index - 1; k >= 0; k-- {
+		if seq[k].Err == "" {
+			p = idx[k]
+			break
+		}
+	}
+	return s, p
+}
+
+// assemble builds the final curve: uniform curves report the simulated
+// axis as-is; adaptive curves interleave measured and estimated levels
+// and re-run the detector on the measured subsequence only.
+func (st *curveState) assemble() Curve {
+	cs := st.cs
+	c := Curve{
+		Name:          cs.Name,
+		Workload:      cs.Workload.Label(),
+		Fabric:        cs.Fabric.Label(),
+		ClockPeriodNS: cs.ClockPeriodNS,
+		Seed:          cs.Seed,
+	}
+	if st.est == nil {
+		pts := make([]CurvePoint, len(cs.Gaps))
+		for i := range cs.Gaps {
+			pts[i] = st.sim[i]
+		}
+		c.Points = pts
+		c.Saturation = detectSaturation(c.Points)
+		return c
+	}
+	seq, idx := st.simSeq()
+	sat := detectSaturation(seq)
+	satAxis := -1
+	if sat != nil {
+		satAxis = idx[sat.Index]
+	}
+	pts := make([]CurvePoint, len(cs.Gaps))
+	k := 0
+	for i, gap := range cs.Gaps {
+		if k < len(idx) && idx[k] == i {
+			pts[i] = seq[k]
+			k++
+			continue
+		}
+		cp := CurvePoint{
+			MeanGap:       gap,
+			OfferedTPK:    float64(cs.Workload.Cores) * 1000 / (gap + 1),
+			ThroughputTPK: st.est.ThroughputAt(gap),
+			LatencyMean:   st.est.LatencyAt(gap),
+			Estimated:     true,
+			Saturated:     satAxis >= 0 && i >= satAxis,
+		}
+		pts[i] = cp
+	}
+	c.Points = pts
+	if sat != nil {
+		c.Saturation = &SaturationPoint{
+			Index:         satAxis,
+			MeanGap:       sat.MeanGap,
+			ThroughputTPK: sat.ThroughputTPK,
+		}
+	}
+	c.Mode = CurveModeAdaptive
+	c.SimulatedLevels = len(idx)
+	c.EstimatedLevels = len(cs.Gaps) - len(idx)
+	c.Analytic = st.estimate
+	return c
 }
 
 // runCurveLevel measures one load level: the template workload at the
@@ -336,9 +597,9 @@ func prevOK(points []CurvePoint, i int) *CurvePoint {
 
 // curveCSVHeader is the fixed column set of WriteCurvesCSV.
 var curveCSVHeader = []string{
-	"curve", "workload", "fabric", "mean_gap", "offered_tpk", "throughput_tpk",
+	"curve", "workload", "fabric", "mode", "mean_gap", "offered_tpk", "throughput_tpk",
 	"latency_mean_cycles", "latency_max_cycles", "reads", "epochs",
-	"ci_half_width_rel", "converged", "saturated", "err",
+	"ci_half_width_rel", "converged", "saturated", "estimated", "err",
 }
 
 // WriteCurvesJSON renders curves as indented JSON with stable ordering.
@@ -353,11 +614,16 @@ func WriteCurvesCSV(w io.Writer, curves []Curve) error {
 		return err
 	}
 	for _, c := range curves {
+		mode := c.Mode
+		if mode == "" {
+			mode = CurveModeUniform
+		}
 		for _, p := range c.Points {
 			rec := []string{
 				c.Name,
 				c.Workload,
 				c.Fabric,
+				mode,
 				strconv.FormatFloat(p.MeanGap, 'g', -1, 64),
 				strconv.FormatFloat(p.OfferedTPK, 'g', -1, 64),
 				strconv.FormatFloat(p.ThroughputTPK, 'g', -1, 64),
@@ -368,6 +634,7 @@ func WriteCurvesCSV(w io.Writer, curves []Curve) error {
 				strconv.FormatFloat(p.CIHalfWidthRel, 'g', -1, 64),
 				strconv.FormatBool(p.Converged),
 				strconv.FormatBool(p.Saturated),
+				strconv.FormatBool(p.Estimated),
 				p.Err,
 			}
 			if err := cw.Write(rec); err != nil {

@@ -295,6 +295,9 @@ type Grid struct {
 	// Retry is the per-point retry/deadline policy applied to every point
 	// (see RetryPolicy). Execution-only, like Shards.
 	Retry *RetryPolicy `json:"retry,omitempty"`
+	// Analytic enables the closed-form pre-pass on every stochastic
+	// point (see Point.Analytic). TG points always simulate.
+	Analytic bool `json:"analytic,omitempty"`
 }
 
 // Point is one fully-specified grid configuration.
@@ -315,6 +318,12 @@ type Point struct {
 	// Execution-only: excluded from the journal point key, so a resumed
 	// campaign may change it.
 	Retry *RetryPolicy `json:"retry,omitempty"`
+	// Analytic enables the closed-form pre-pass for this point: when the
+	// queueing model brackets the operating region confidently (deep in
+	// the linear region or deep past saturation), the point is recorded
+	// as an estimated result instead of being simulated — never silently
+	// dropped. Result-determining, so it is part of the journal key.
+	Analytic bool `json:"analytic,omitempty"`
 }
 
 // Label identifies the point in reports.
@@ -343,6 +352,7 @@ func (g Grid) Expand() []Point {
 						ID: len(pts), Workload: w, Fabric: f,
 						ClockPeriodNS: c, Seed: s, Measure: g.Measure,
 						Shards: g.Shards, Retry: g.Retry,
+						Analytic: g.Analytic && w.Kind == KindStochastic,
 					})
 				}
 			}

@@ -24,7 +24,11 @@ func PointKey(p Point) string {
 		ClockPeriodNS uint64   `json:"clock_period_ns"`
 		Seed          int64    `json:"seed"`
 		Measure       *Measure `json:"measure,omitempty"`
-	}{p.ID, p.Workload, p.Fabric, p.ClockPeriodNS, p.Seed, p.Measure}
+		// Analytic is result-determining (an estimated result differs
+		// from a measured one), so it keys the journal; omitempty keeps
+		// every pre-existing journal's keys byte-identical.
+		Analytic bool `json:"analytic,omitempty"`
+	}{p.ID, p.Workload, p.Fabric, p.ClockPeriodNS, p.Seed, p.Measure, p.Analytic}
 	b, err := json.Marshal(canon)
 	if err != nil {
 		// Point fields are plain data; Marshal cannot fail on them.

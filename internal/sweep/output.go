@@ -61,7 +61,7 @@ var csvHeader = []string{
 	"id", "workload", "fabric", "clock_period_ns", "seed", "err",
 	"makespan_cycles", "makespan_ns", "engine_cycles",
 	"transactions", "reads", "latency_mean_cycles", "latency_max_cycles",
-	"throughput_tpk", "flits_routed", "bus_busy_cycles",
+	"throughput_tpk", "flits_routed", "bus_busy_cycles", "estimated",
 }
 
 // WriteCSV renders the result set as CSV with a fixed header.
@@ -88,6 +88,7 @@ func WriteCSV(w io.Writer, results []Result) error {
 			strconv.FormatFloat(r.ThroughputTPK, 'g', -1, 64),
 			strconv.FormatUint(r.FlitsRouted, 10),
 			strconv.FormatUint(r.BusBusyCycles, 10),
+			strconv.FormatBool(r.Estimated),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"noctg/internal/analytic"
 	"noctg/internal/core"
 	"noctg/internal/exp"
 	"noctg/internal/guard"
@@ -57,6 +58,17 @@ type Result struct {
 	// drain windows and per-epoch statistics); nil on legacy runs, so
 	// phases-off artifacts are byte-identical to the pre-phase format.
 	Phases *PhaseStats `json:"phases,omitempty"`
+
+	// Estimated marks a result produced by the closed-form estimator
+	// instead of simulation (analytic pre-pass, Point.Analytic): the point
+	// sat far enough from the predicted knee — error bars included — that
+	// the model brackets it confidently. Estimated results carry the
+	// predicted throughput and mean latency; counters that only a
+	// simulation can produce (makespan, flits, histograms) stay zero.
+	// Omitempty keeps simulated artifacts byte-identical.
+	Estimated bool `json:"estimated,omitempty"`
+	// Analytic carries the full prediction on estimated results.
+	Analytic *analytic.Estimate `json:"analytic,omitempty"`
 }
 
 // Runner executes grid points over a bounded worker pool.
@@ -242,6 +254,45 @@ type execOpts struct {
 	deadline time.Duration
 }
 
+// Analytic pre-pass confidence bounds: a point is estimated instead of
+// simulated only when the predicted bottleneck demand ratio — widened by
+// the model's own knee error bar — puts it deep in the linear region or
+// deep past saturation. Everything near the knee simulates.
+const (
+	analyticLowUtil  = 0.5
+	analyticHighUtil = 1.25
+)
+
+// analyticEstimate fills res from the closed-form model when the point is
+// confidently bracketed, reporting whether it did. It reports false —
+// simulate normally — when the estimator cannot compile for this
+// configuration, the workload has no finite mean gap, or the point sits
+// too close to the predicted knee for the model's error bars. The
+// decision is a pure function of the point (compilation is microseconds),
+// so no cache is needed and determinism across workers is free.
+func (r Runner) analyticEstimate(p Point, res *Result) bool {
+	est, err := NewEstimator(p.Workload, p.Fabric)
+	if err != nil {
+		return false
+	}
+	gap := est.Spec().Traffic.MeanGap
+	if gap <= 0 {
+		return false
+	}
+	e := est.Estimate()
+	u := est.DemandRatioAt(gap)
+	lo := analyticLowUtil * (1 - e.KneeRelErr)
+	hi := analyticHighUtil * (1 + e.KneeRelErr)
+	if u > lo && u < hi {
+		return false
+	}
+	res.Estimated = true
+	res.Analytic = &e
+	res.ThroughputTPK = est.ThroughputAt(gap)
+	res.Latency = sim.HistogramSnapshot{Mean: est.LatencyAt(gap)}
+	return true
+}
+
 // runPoint executes one configuration on its own engine with the default
 // first-attempt options. A panicking model is recorded as that point's
 // failure rather than aborting the sweep.
@@ -267,6 +318,9 @@ func (r Runner) runPointExec(cache *programCache, p Point, opts execOpts) (res R
 		Fabric:        p.Fabric.Label(),
 		ClockPeriodNS: p.ClockPeriodNS,
 		Seed:          p.Seed,
+	}
+	if p.Analytic && r.analyticEstimate(p, &res) {
+		return res
 	}
 	ic, _ := p.Fabric.interconnect()
 	kernel := r.Kernel

@@ -28,7 +28,7 @@ mkdir -p bench
 # normalization probe cannot cancel, so those variants live only in the
 # full dated runs. It needs its own invocation — a combined pattern's
 # /1shard element would also filter the other benchmarks' sub-benchmarks.
-smoke_pattern='EngineTick|EngineSkipIdle|EngineEvent|TransactionPath|PhasedMeasure|BurstyInjection|JournaledSweep'
+smoke_pattern='EngineTick|EngineSkipIdle|EngineEvent|TransactionPath|PhasedMeasure|BurstyInjection|JournaledSweep|AnalyticEstimate|AdaptiveCurve'
 smoke_shard_pattern='ShardScaling/1shard'
 smoke_benchtime='300ms'
 smoke_count=3
